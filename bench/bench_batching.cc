@@ -1,0 +1,62 @@
+// Section 10.1 ablation: packaging several refreshes into one message. A
+// batch of k objects costs one bandwidth unit (per-message overhead
+// dominates), but partial batches wait for company, "causing some refreshes
+// to be delayed artificially". The paper poses the trade-off as future
+// work; this bench maps it.
+//
+// Expected: under tight bandwidth, batching wins big (k-fold effective
+// capacity); with ample bandwidth, the artificial delay makes large batches
+// pointless or mildly harmful.
+
+#include "bench_common.h"
+#include "exp/experiment.h"
+
+namespace besync {
+namespace {
+
+int Run(const BenchOptions& options) {
+  std::cout << "== Section 10.1 ablation: refresh batching ==\n"
+            << "divergence vs batch size, at tight and ample message budgets.\n\n";
+
+  const std::vector<int> batch_sizes =
+      options.full ? std::vector<int>{1, 2, 4, 8, 16} : std::vector<int>{1, 2, 4, 8};
+  const std::vector<double> budgets =
+      options.full ? std::vector<double>{0.05, 0.1, 0.2, 0.5, 1.0}
+                   : std::vector<double>{0.05, 0.2, 1.0};
+
+  TablePrinter table({"bandwidth_fraction", "batch", "divergence",
+                      "object_refreshes"});
+  for (double fraction : budgets) {
+    for (int batch : batch_sizes) {
+      ExperimentConfig config;
+      config.scheduler = SchedulerKind::kCooperative;
+      config.metric = MetricKind::kValueDeviation;
+      config.workload.num_sources = options.full ? 20 : 10;
+      config.workload.objects_per_source = 20;
+      config.workload.rate_lo = 0.02;
+      config.workload.rate_hi = 1.0;
+      config.workload.seed = options.seed + 5;
+      config.harness.warmup = 200.0;
+      config.harness.measure = options.full ? 4000.0 : 1500.0;
+      config.cache_bandwidth_avg = fraction * config.workload.num_sources *
+                                   config.workload.objects_per_source;
+      config.max_batch = batch;
+      config.max_batch_delay = 5.0;
+
+      auto result = RunExperiment(config);
+      BESYNC_CHECK_OK(result.status());
+      table.AddRow({TablePrinter::Cell(fraction), TablePrinter::Cell(batch),
+                    TablePrinter::Cell(result->per_object_weighted),
+                    TablePrinter::Cell(result->scheduler.refreshes_delivered)});
+    }
+  }
+  EmitTable(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace besync
+
+int main(int argc, char** argv) {
+  return besync::Run(besync::BenchOptions::Parse(argc, argv));
+}

@@ -1,0 +1,61 @@
+#ifndef BESYNC_BENCH_BENCH_COMMON_H_
+#define BESYNC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace besync {
+
+/// Common command-line surface of every experiment binary:
+///   --full        run the paper-scale sweep (default: scaled-down)
+///   --csv <path>  also dump the result table as CSV
+///   --seed <n>    workload seed override
+struct BenchOptions {
+  bool full = false;
+  std::string csv;
+  uint64_t seed = 1;
+
+  static BenchOptions Parse(int argc, char** argv,
+                            std::vector<std::string> extra_flags = {}) {
+    std::vector<std::string> known{"full", "csv", "seed"};
+    for (auto& flag : extra_flags) known.push_back(std::move(flag));
+    Flags flags;
+    const Status status = Flags::Parse(argc, argv, known, &flags);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(2);
+    }
+    BenchOptions options;
+    options.full = flags.GetBool("full", false);
+    options.csv = flags.GetString("csv", "");
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+    options.flags = flags;
+    return options;
+  }
+
+  Flags flags;  // access to extra flags
+};
+
+/// Prints the table and optionally writes the CSV copy.
+inline void EmitTable(const TablePrinter& table, const BenchOptions& options) {
+  table.Print(std::cout);
+  if (!options.csv.empty()) {
+    const Status status = table.WriteCsv(options.csv);
+    if (!status.ok()) {
+      std::fprintf(stderr, "CSV write failed: %s\n", status.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "wrote %s\n", options.csv.c_str());
+    }
+  }
+}
+
+}  // namespace besync
+
+#endif  // BESYNC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,101 @@
+// Section 7 ablation: cooperation in competitive environments. The cache
+// and the sources deliberately disagree about which objects matter (each
+// side weights an independent random half of the objects 10x). The cache
+// dedicates the fraction Ψ of its bandwidth to source priorities, divided
+// per one of the three options the paper describes:
+//   (1) equal share per source,
+//   (2) share proportional to the source's object count,
+//   (3) piggyback Ψ/(1-Ψ) own-choice objects per cache-priority refresh.
+//
+// The paper gives no numbers for this section; the expected qualitative
+// behaviour is a dial: larger Ψ improves the sources' objective at the
+// expense of the cache's objective, under every option.
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/competitive.h"
+#include "core/harness.h"
+#include "divergence/metric.h"
+
+namespace besync {
+namespace {
+
+/// Reassigns objects to sources with linearly growing sizes (source j gets
+/// a share proportional to j+1) so that option (2), proportional shares,
+/// actually differs from option (1), equal shares. Grouping stays
+/// contiguous, as the source agents require.
+void MakeHeterogeneousSources(Workload* workload) {
+  const int m = workload->num_sources;
+  const int64_t total = workload->total_objects();
+  const double unit = static_cast<double>(total) / (m * (m + 1) / 2.0);
+  int64_t next = 0;
+  for (int j = 0; j < m; ++j) {
+    int64_t count = std::max<int64_t>(1, std::llround(unit * (j + 1)));
+    if (j == m - 1) count = total - next;  // absorb rounding
+    for (int64_t k = 0; k < count && next < total; ++k, ++next) {
+      workload->objects[next].source_index = j;
+    }
+  }
+}
+
+int Run(const BenchOptions& options) {
+  std::cout << "== Section 7 ablation: competitive resource sharing ==\n"
+            << "cache_div / source_div = weighted divergence under the cache's\n"
+            << "vs the sources' weighting scheme. Expect source_div to fall and\n"
+            << "cache_div to rise as psi grows, for every option.\n\n";
+
+  WorkloadConfig base;
+  base.num_sources = options.full ? 20 : 8;
+  base.objects_per_source = 20;
+  base.rate_lo = 0.02;
+  base.rate_hi = 1.0;
+  base.weight_scheme = WeightScheme::kHalfHeavy;
+  base.heavy_weight = 10.0;
+  base.seed = options.seed + 7;
+
+  HarnessConfig harness_config;
+  harness_config.warmup = 200.0;
+  harness_config.measure = options.full ? 4000.0 : 1500.0;
+
+  const double bandwidth = 0.2 * base.num_sources * base.objects_per_source;
+  const std::vector<double> psis = options.full
+                                       ? std::vector<double>{0.0, 0.1, 0.25, 0.5, 0.75}
+                                       : std::vector<double>{0.0, 0.25, 0.5};
+
+  auto metric = MakeMetric(MetricKind::kValueDeviation);
+  TablePrinter table({"option", "psi", "cache_div", "source_div"});
+  for (ShareOption option : {ShareOption::kEqualShare, ShareOption::kProportionalShare,
+                             ShareOption::kPiggyback}) {
+    for (double psi : psis) {
+      Workload workload = std::move(MakeWorkload(base)).ValueOrDie();
+      MakeHeterogeneousSources(&workload);
+      AssignConflictingSourceWeights(&workload, 10.0, options.seed + 77);
+
+      Harness harness(&workload, metric.get(), harness_config);
+      GroundTruth source_view(&workload, metric.get(), /*use_source_weights=*/true);
+      harness.AddGroundTruth(&source_view);
+
+      CompetitiveConfig config;
+      config.base.cache_bandwidth_avg = bandwidth;
+      config.psi = psi;
+      config.option = option;
+      CompetitiveScheduler scheduler(config);
+      BESYNC_CHECK_OK(harness.Run(&scheduler));
+
+      table.AddRow(
+          {ShareOptionToString(option), TablePrinter::Cell(psi),
+           TablePrinter::Cell(harness.ground_truth().PerObjectWeightedAverage()),
+           TablePrinter::Cell(source_view.PerObjectWeightedAverage())});
+    }
+  }
+  EmitTable(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace besync
+
+int main(int argc, char** argv) {
+  return besync::Run(besync::BenchOptions::Parse(argc, argv));
+}

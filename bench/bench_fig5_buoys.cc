@@ -1,0 +1,92 @@
+// Figure 5: "Average divergence over wind buoy data". The paper monitors
+// wind vectors from m = 40 ocean buoys (2 numeric components each, measured
+// every 10 minutes, 7 days of data with day 1 as warm-up), equally weighted,
+// under the value deviation metric delta = |V1 - V2|. The satellite link
+// (cache-side bandwidth, messages/minute) is capped between 1 and 80 —
+// first held constant, then fluctuating with mB = 0.25. Two curves per
+// panel: our algorithm and the idealized scenario.
+//
+// Paper result: our algorithm's average value deviation per data value
+// closely follows the ideal curve, decaying from ~0.5-0.9 at bandwidth 1
+// toward ~0 as bandwidth approaches 80 (the wind values live in 0-10 with
+// typical values around 5, so 0.5 is roughly 10% divergence).
+//
+// The real TAO/PMEL archive is not available offline; this reproduction
+// generates statistically comparable traces (see DESIGN.md, Substitutions).
+
+#include "bench_common.h"
+#include "core/system.h"
+#include "data/buoy_trace.h"
+#include "exp/experiment.h"
+#include "exp/sweep.h"
+
+namespace besync {
+namespace {
+
+struct Point {
+  double bandwidth;
+  double ideal;
+  double ours;
+};
+
+int Run(const BenchOptions& options) {
+  std::cout << "== Figure 5: wind-buoy monitoring (synthetic TAO stand-in) ==\n"
+            << "Average value deviation per data value vs link bandwidth\n"
+            << "(messages/minute). Paper shape: ours closely tracks ideal,\n"
+            << "both decaying toward 0 by bandwidth ~80.\n\n";
+
+  const std::vector<double> bandwidths =
+      options.full
+          ? std::vector<double>{1, 2, 4, 8, 12, 16, 24, 32, 40, 48, 56, 64, 72, 80}
+          : std::vector<double>{1, 2, 4, 8, 16, 32, 56, 80};
+
+  BuoyTraceConfig trace_config;
+  trace_config.seed = 2000 + options.seed;
+  if (!options.full) trace_config.duration = 4.0 * 86400.0;  // 4 of 7 days
+
+  // Time unit remains seconds; the link budget is expressed per minute in
+  // the paper, so bandwidth B msgs/min = B/60 msgs/s with 60 s ticks.
+  HarnessConfig harness_config;
+  harness_config.tick_length = 60.0;
+  harness_config.warmup = 86400.0;  // first day
+  harness_config.measure = trace_config.duration - harness_config.warmup;
+
+  TablePrinter table({"mode", "bandwidth_per_min", "ideal", "our_algorithm"});
+  for (const bool fluctuating : {false, true}) {
+    SweepProgress progress(fluctuating ? "fig5 fluctuating" : "fig5 fixed",
+                           static_cast<int>(bandwidths.size()));
+    for (double per_minute : bandwidths) {
+      ExperimentConfig config;
+      config.metric = MetricKind::kValueDeviation;
+      config.harness = harness_config;
+      config.cache_bandwidth_avg = per_minute / 60.0;
+      config.bandwidth_change_rate = fluctuating ? 0.25 / 60.0 : 0.0;
+
+      Workload workload = std::move(MakeBuoyWorkload(trace_config)).ValueOrDie();
+
+      config.scheduler = SchedulerKind::kIdealCooperative;
+      auto ideal = RunExperimentOnWorkload(config, &workload);
+      BESYNC_CHECK_OK(ideal.status());
+
+      config.scheduler = SchedulerKind::kCooperative;
+      auto ours = RunExperimentOnWorkload(config, &workload);
+      BESYNC_CHECK_OK(ours.status());
+
+      table.AddRow({fluctuating ? "fluctuating" : "fixed",
+                    TablePrinter::Cell(per_minute),
+                    TablePrinter::Cell(ideal->per_object_weighted),
+                    TablePrinter::Cell(ours->per_object_weighted)});
+      progress.Step();
+    }
+    progress.Finish();
+  }
+  EmitTable(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace besync
+
+int main(int argc, char** argv) {
+  return besync::Run(besync::BenchOptions::Parse(argc, argv));
+}

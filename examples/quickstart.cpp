@@ -1,0 +1,58 @@
+// Quickstart: synchronize 100 random-walk objects from 5 sources into one
+// cache over a bandwidth-constrained link, with the paper's cooperative
+// threshold protocol, and compare against the idealized scheduler and a
+// naive round-robin refresher.
+//
+//   ./quickstart
+//
+// Walks through the three core steps of the besync API:
+//   1. describe a workload (objects, update processes, weights),
+//   2. pick a divergence metric and a scheduler,
+//   3. run and read the measured time-averaged divergence.
+
+#include <cstdio>
+
+#include "exp/experiment.h"
+
+using namespace besync;
+
+int main() {
+  // 1. Workload: 5 sources x 20 objects, Poisson random-walk updates with
+  //    rates drawn uniformly from (0, 1]; all equally weighted.
+  ExperimentConfig config;
+  config.workload.num_sources = 5;
+  config.workload.objects_per_source = 20;
+  config.workload.rate_lo = 0.0;
+  config.workload.rate_hi = 1.0;
+  config.workload.seed = 42;
+
+  // 2. Objective: minimize time-averaged |source - cache| (value deviation).
+  //    Resources: 20 messages/second of cache-side bandwidth — about 40% of
+  //    the expected update volume, so refreshes must be prioritized.
+  config.metric = MetricKind::kValueDeviation;
+  config.cache_bandwidth_avg = 20.0;
+  config.harness.warmup = 100.0;
+  config.harness.measure = 1000.0;
+
+  // 3. Run the three schedulers on the *same* workload (update streams are
+  //    reproducible from per-object seeds).
+  std::printf("scheduler           divergence/object   refreshes\n");
+  std::printf("--------------------------------------------------\n");
+  for (SchedulerKind kind : {SchedulerKind::kIdealCooperative,
+                             SchedulerKind::kCooperative,
+                             SchedulerKind::kRoundRobin}) {
+    config.scheduler = kind;
+    auto result = RunExperiment(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-18s  %-18.4f  %lld\n", result->scheduler_name.c_str(),
+                result->per_object_weighted,
+                static_cast<long long>(result->scheduler.refreshes_delivered));
+  }
+  std::printf(
+      "\nThe cooperative protocol should sit close to the ideal oracle and\n"
+      "well below round-robin. Try changing cache_bandwidth_avg.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Web-index freshness (the paper's Section 7 running example): a search
+// index caches documents from many content providers. The indexer weights
+// pages by a PageRank-like importance (Zipf-distributed), but each provider
+// has its own promotion priorities (e.g. a retailer pushing special
+// offers). The cache dedicates a fraction Ψ of its crawl bandwidth to
+// provider priorities — option (3), piggybacking, rewards providers whose
+// content the index values.
+//
+// The example reports index-objective and provider-objective staleness for
+// Ψ in {0, 0.2, 0.4} and contrasts the cooperative protocol against the
+// cache-driven CGM crawler.
+
+#include <cstdio>
+#include <memory>
+
+#include "baseline/cgm.h"
+#include "core/competitive.h"
+#include "core/harness.h"
+#include "data/weight.h"
+#include "data/workload.h"
+#include "divergence/metric.h"
+
+using namespace besync;
+
+namespace {
+
+Workload BuildWebCorpus(uint64_t seed) {
+  constexpr int kProviders = 50;
+  constexpr int kPagesPerProvider = 20;
+  Workload corpus;
+  corpus.num_sources = kProviders;
+  corpus.objects_per_source = kPagesPerProvider;
+
+  Rng rng(seed);
+  for (int provider = 0; provider < kProviders; ++provider) {
+    for (int page = 0; page < kPagesPerProvider; ++page) {
+      ObjectSpec spec;
+      spec.index = static_cast<ObjectIndex>(corpus.objects.size());
+      spec.source_index = provider;
+      // Page change rates: most pages are slow, a few churn (Zipf-ish mix).
+      spec.lambda = 0.005 * static_cast<double>(rng.Zipf(100, 1.2));
+      spec.process = std::make_unique<PoissonRandomWalkProcess>(spec.lambda);
+      // Index importance: PageRank-like Zipf weights.
+      spec.weight =
+          MakeConstantWeight(static_cast<double>(rng.Zipf(50, 1.0)));
+      // Provider priorities: each provider promotes a handful of pages
+      // (e.g. special offers) the index does not particularly value.
+      spec.source_weight = MakeConstantWeight(page < 3 ? 10.0 : 1.0);
+      spec.max_divergence_rate = spec.lambda;
+      spec.rng_seed = rng.NextUint64();
+      corpus.objects.push_back(std::move(spec));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace
+
+int main() {
+  const double bandwidth = 60.0;  // index-side refresh budget, msgs/s
+  HarnessConfig harness_config;
+  harness_config.warmup = 200.0;
+  harness_config.measure = 2000.0;
+  auto metric = MakeMetric(MetricKind::kStaleness);
+
+  std::printf("web index: 1000 pages from 50 providers, %g refreshes/s\n\n",
+              bandwidth);
+  std::printf("%-24s %-6s %-12s %-12s\n", "scheduler", "psi", "index_stale",
+              "provider_stale");
+  std::printf("-------------------------------------------------------------\n");
+
+  // Cooperative with piggyback sharing at several psi values.
+  for (double psi : {0.0, 0.2, 0.4}) {
+    Workload corpus = BuildWebCorpus(7);
+    Harness harness(&corpus, metric.get(), harness_config);
+    GroundTruth provider_view(&corpus, metric.get(), /*use_source_weights=*/true);
+    harness.AddGroundTruth(&provider_view);
+
+    CompetitiveConfig config;
+    config.base.cache_bandwidth_avg = bandwidth;
+    config.psi = psi;
+    config.option = ShareOption::kPiggyback;
+    CompetitiveScheduler scheduler(config);
+    if (Status status = harness.Run(&scheduler); !status.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%-24s %-6.2f %-12.4f %-12.4f\n", scheduler.name().c_str(), psi,
+                harness.ground_truth().PerObjectWeightedAverage(),
+                provider_view.PerObjectWeightedAverage());
+  }
+
+  // The conventional alternative: a cache-driven CGM crawler that polls.
+  {
+    Workload corpus = BuildWebCorpus(7);
+    Harness harness(&corpus, metric.get(), harness_config);
+    GroundTruth provider_view(&corpus, metric.get(), /*use_source_weights=*/true);
+    harness.AddGroundTruth(&provider_view);
+
+    CGMConfig config;
+    config.network.cache_bandwidth_avg = bandwidth;
+    config.variant = CGMVariant::kLastModified;
+    CGMScheduler scheduler(config);
+    if (Status status = harness.Run(&scheduler); !status.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%-24s %-6s %-12.4f %-12.4f\n", "cgm1 (cache-driven)", "-",
+                harness.ground_truth().PerObjectWeightedAverage(),
+                provider_view.PerObjectWeightedAverage());
+  }
+
+  std::printf(
+      "\nRaising psi buys provider satisfaction for a small index-freshness\n"
+      "cost; even at psi = 0.4 the cooperative index should stay fresher\n"
+      "than the polling crawler (Figure 6's message).\n");
+  return 0;
+}

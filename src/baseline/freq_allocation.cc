@@ -1,0 +1,138 @@
+#include "baseline/freq_allocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace besync {
+
+double PoissonFreshness(double lambda, double freq) {
+  if (lambda <= 0.0) return 1.0;  // never changes: always fresh
+  if (freq <= 0.0) return 0.0;    // never refreshed: eventually always stale
+  const double x = lambda / freq;
+  if (x < 1e-8) return 1.0 - 0.5 * x;  // series expansion for tiny x
+  return (1.0 - std::exp(-x)) / x;
+}
+
+double PoissonFreshnessMarginal(double lambda, double freq) {
+  if (lambda <= 0.0) return 0.0;
+  if (freq <= 0.0) return 1.0 / lambda;  // limit as f -> 0+
+  const double x = lambda / freq;
+  if (x < 1e-8) {
+    // (1 - e^-x) - x e^-x = x^2/2 - x^3/3 + ...  -> avoid cancellation.
+    return (0.5 * x * x - x * x * x / 3.0) / lambda;
+  }
+  const double ex = std::exp(-x);
+  return ((1.0 - ex) - x * ex) / lambda;
+}
+
+namespace {
+
+/// Solves w * dF/df = mu for f >= 0 (marginal is decreasing in f).
+double FrequencyForMultiplier(double lambda, double weight, double mu) {
+  if (lambda <= 0.0 || weight <= 0.0) return 0.0;
+  // Marginal at f -> 0+ is w/lambda; if even that is below mu, f* = 0.
+  if (weight / lambda <= mu) return 0.0;
+  // Bisection on f in (lo, hi): find hi with marginal(hi) < mu.
+  double lo = 0.0;
+  double hi = std::max(lambda, 1.0);
+  while (weight * PoissonFreshnessMarginal(lambda, hi) > mu) {
+    hi *= 2.0;
+    if (hi > 1e18) return hi;  // mu effectively 0: infinite appetite
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (weight * PoissonFreshnessMarginal(lambda, mid) > mu) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-9 * std::max(1.0, hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+Result<AllocationResult> SolveFreshnessAllocation(const std::vector<double>& lambdas,
+                                                  const std::vector<double>& weights,
+                                                  double bandwidth) {
+  if (lambdas.empty()) {
+    return Status::InvalidArgument("allocation needs at least one object");
+  }
+  if (!weights.empty() && weights.size() != lambdas.size()) {
+    return Status::InvalidArgument("weights size mismatch: ", weights.size(), " vs ",
+                                   lambdas.size());
+  }
+  if (bandwidth < 0.0) {
+    return Status::InvalidArgument("bandwidth must be nonnegative");
+  }
+  auto weight_of = [&weights](size_t i) { return weights.empty() ? 1.0 : weights[i]; };
+
+  AllocationResult result;
+  result.frequencies.assign(lambdas.size(), 0.0);
+  if (bandwidth == 0.0) {
+    result.mu = 0.0;
+    for (size_t i = 0; i < lambdas.size(); ++i) {
+      result.total_weighted_freshness += weight_of(i) * PoissonFreshness(lambdas[i], 0.0);
+    }
+    return result;
+  }
+
+  auto total_frequency = [&](double mu) {
+    double total = 0.0;
+    for (size_t i = 0; i < lambdas.size(); ++i) {
+      total += FrequencyForMultiplier(lambdas[i], weight_of(i), mu);
+    }
+    return total;
+  };
+
+  // Outer bisection on mu: total allocated frequency decreases in mu.
+  double mu_hi = 0.0;
+  for (size_t i = 0; i < lambdas.size(); ++i) {
+    if (lambdas[i] > 0.0) mu_hi = std::max(mu_hi, weight_of(i) / lambdas[i]);
+  }
+  if (mu_hi == 0.0) {
+    // No object ever changes; any allocation is optimal — leave all zero.
+    for (size_t i = 0; i < lambdas.size(); ++i) {
+      result.total_weighted_freshness += weight_of(i);
+    }
+    return result;
+  }
+  double mu_lo = mu_hi * 1e-18;
+  // Ensure the bracket actually straddles the target.
+  while (total_frequency(mu_lo) < bandwidth && mu_lo > 1e-300) {
+    mu_lo *= 1e-3;
+  }
+  for (int iter = 0; iter < 120; ++iter) {
+    const double mid = std::sqrt(mu_lo * mu_hi);  // geometric: mu spans decades
+    if (total_frequency(mid) > bandwidth) {
+      mu_lo = mid;
+    } else {
+      mu_hi = mid;
+    }
+    if (mu_hi / mu_lo < 1.0 + 1e-9) break;
+  }
+  result.mu = std::sqrt(mu_lo * mu_hi);
+
+  double allocated = 0.0;
+  for (size_t i = 0; i < lambdas.size(); ++i) {
+    result.frequencies[i] = FrequencyForMultiplier(lambdas[i], weight_of(i), result.mu);
+    allocated += result.frequencies[i];
+  }
+  // Renormalize the small residual so the budget binds exactly.
+  if (allocated > 0.0) {
+    const double scale = bandwidth / allocated;
+    if (scale < 4.0) {  // guard against degenerate tiny totals
+      for (double& f : result.frequencies) f *= scale;
+    }
+  }
+  for (size_t i = 0; i < lambdas.size(); ++i) {
+    result.total_weighted_freshness +=
+        weight_of(i) * PoissonFreshness(lambdas[i], result.frequencies[i]);
+  }
+  return result;
+}
+
+}  // namespace besync

@@ -1,0 +1,45 @@
+#ifndef BESYNC_BASELINE_FREQ_ALLOCATION_H_
+#define BESYNC_BASELINE_FREQ_ALLOCATION_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace besync {
+
+/// Time-averaged freshness of an object with Poisson update rate `lambda`
+/// that is re-fetched at fixed intervals 1/`freq` (Cho & Garcia-Molina,
+/// SIGMOD 2000 — "CGM"): F(lambda, f) = (f/lambda) * (1 - e^{-lambda/f}).
+/// F(., f) is increasing and concave in f; F -> 1 as f -> infinity.
+double PoissonFreshness(double lambda, double freq);
+
+/// Marginal freshness gain dF/df = [(1 - e^{-x}) - x e^{-x}] / lambda with
+/// x = lambda/f; decreasing in f, with limit 1/lambda as f -> 0+.
+double PoissonFreshnessMarginal(double lambda, double freq);
+
+/// Result of the CGM bandwidth allocation.
+struct AllocationResult {
+  /// Optimal per-object refresh frequencies (refreshes/second); may be 0 for
+  /// rapidly-changing objects under contention (CGM's famous result that it
+  /// can be optimal to *never* refresh the hottest objects).
+  std::vector<double> frequencies;
+  /// The Lagrange multiplier mu at the optimum (the paper notes CGM's
+  /// bandwidth knob "was shown not to be solvable mathematically" and was
+  /// tuned by repeated runs; we solve it numerically instead — the same
+  /// fixed point, found deterministically).
+  double mu = 0.0;
+  /// Objective value: Σ w_i F(lambda_i, f_i).
+  double total_weighted_freshness = 0.0;
+};
+
+/// Solves max Σ w_i F(lambda_i, f_i) s.t. Σ f_i = bandwidth, f_i >= 0:
+/// per-object marginals are equalized at mu (objects whose marginal at f=0,
+/// w_i/lambda_i, is below mu get f_i = 0); mu is found by bisection so the
+/// bandwidth constraint binds. `weights` may be empty (all 1).
+Result<AllocationResult> SolveFreshnessAllocation(const std::vector<double>& lambdas,
+                                                  const std::vector<double>& weights,
+                                                  double bandwidth);
+
+}  // namespace besync
+
+#endif  // BESYNC_BASELINE_FREQ_ALLOCATION_H_

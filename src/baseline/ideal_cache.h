@@ -1,0 +1,50 @@
+#ifndef BESYNC_BASELINE_IDEAL_CACHE_H_
+#define BESYNC_BASELINE_IDEAL_CACHE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/harness.h"
+#include "net/bandwidth.h"
+#include "priority/priority_queue.h"
+
+namespace besync {
+
+/// Configuration shared by the cache-driven (CGM-style) schedulers.
+struct CacheDrivenConfig {
+  double cache_bandwidth_avg = 10.0;
+  double bandwidth_change_rate = 0.0;
+};
+
+/// The "ideal cache-based" curve of Figure 6: the CGM frequency-allocation
+/// policy [Cho & Garcia-Molina, SIGMOD 2000] under two theoretical
+/// assumptions — the cache knows every object's exact update rate, and
+/// refreshes need no polling round-trip (each refresh costs one unit of
+/// cache-side bandwidth and delivers the current source value instantly).
+///
+/// Each object is refreshed at its optimal fixed frequency f_i from
+/// SolveFreshnessAllocation, with uniformly random initial phase.
+class IdealCacheBasedScheduler : public Scheduler {
+ public:
+  explicit IdealCacheBasedScheduler(const CacheDrivenConfig& config);
+
+  std::string name() const override { return "ideal-cache-based"; }
+  void Initialize(Harness* harness) override;
+  void OnObjectUpdate(ObjectIndex /*index*/, double /*t*/) override {}
+  void Tick(double t) override;
+  void OnMeasurementStart(double /*t*/) override { refreshes_ = 0; }
+  SchedulerStats stats() const override;
+
+ private:
+  CacheDrivenConfig config_;
+  Harness* harness_ = nullptr;
+  std::unique_ptr<BandwidthModel> bandwidth_;
+  std::vector<double> intervals_;  // 1/f_i; infinity when f_i == 0
+  TimeMinHeap schedule_;
+  int64_t refreshes_ = 0;
+  double tick_length_ = 1.0;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_BASELINE_IDEAL_CACHE_H_

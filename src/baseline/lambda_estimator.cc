@@ -1,0 +1,70 @@
+#include "baseline/lambda_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace besync {
+
+BooleanChangeEstimator::BooleanChangeEstimator(double prior, int64_t min_polls,
+                                               double start_time)
+    : prior_(prior), min_polls_(min_polls), last_poll_time_(start_time) {
+  BESYNC_CHECK_GT(prior, 0.0);
+  BESYNC_CHECK_GE(min_polls, 1);
+}
+
+void BooleanChangeEstimator::RecordPoll(double poll_time, bool changed,
+                                        double /*last_update_time*/) {
+  const double tau = poll_time - last_poll_time_;
+  if (tau <= 0.0) return;
+  last_poll_time_ = poll_time;
+  ++polls_;
+  if (changed) ++changed_polls_;
+  observed_time_ += tau;
+}
+
+double BooleanChangeEstimator::Estimate() const {
+  if (polls_ < min_polls_ || observed_time_ <= 0.0) return prior_;
+  const double n = static_cast<double>(polls_);
+  const double x = static_cast<double>(changed_polls_);
+  const double tau_bar = observed_time_ / n;
+  // All polls changed -> the +0.5 correction keeps the estimate finite.
+  const double ratio = (n - x + 0.5) / (n + 0.5);
+  return -std::log(ratio) / tau_bar;
+}
+
+LastModifiedEstimator::LastModifiedEstimator(double prior, int64_t min_polls,
+                                             double start_time)
+    : prior_(prior), min_polls_(min_polls), last_poll_time_(start_time) {
+  BESYNC_CHECK_GT(prior, 0.0);
+  BESYNC_CHECK_GE(min_polls, 1);
+}
+
+void LastModifiedEstimator::RecordPoll(double poll_time, bool changed,
+                                       double last_update_time) {
+  const double tau = poll_time - last_poll_time_;
+  if (tau <= 0.0) return;
+  ++polls_;
+  if (changed && last_update_time >= 0.0) {
+    ++observed_changes_;
+    // The stretch after the last update contains no updates by definition.
+    const double gap = std::clamp(poll_time - last_update_time, 0.0, tau);
+    quiet_time_ += gap;
+  } else {
+    quiet_time_ += tau;
+  }
+  last_poll_time_ = poll_time;
+}
+
+double LastModifiedEstimator::Estimate() const {
+  if (polls_ < min_polls_) return prior_;
+  if (quiet_time_ <= 0.0) {
+    // Every instant contained updates: extremely hot object.
+    return prior_ * 100.0;
+  }
+  // +0.5 smoothing keeps never-changing objects at a small positive rate.
+  return (static_cast<double>(observed_changes_) + 0.5) / quiet_time_;
+}
+
+}  // namespace besync

@@ -1,0 +1,78 @@
+#ifndef BESYNC_BASELINE_LAMBDA_ESTIMATOR_H_
+#define BESYNC_BASELINE_LAMBDA_ESTIMATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace besync {
+
+/// Online estimator of an object's Poisson update rate from poll
+/// observations, as required by the practical CGM baselines (Section 6.3;
+/// estimators follow Cho & Garcia-Molina's "Estimating frequency of change",
+/// [CGM00a]). One estimator instance tracks one object.
+class LambdaEstimator {
+ public:
+  virtual ~LambdaEstimator() = default;
+
+  /// Records one poll: at `poll_time` the cache learned whether the object
+  /// changed since the previous poll and (for estimators that can use it)
+  /// the time of the most recent update, `last_update_time` (< 0 if the
+  /// object has never been updated).
+  virtual void RecordPoll(double poll_time, bool changed, double last_update_time) = 0;
+
+  /// Current rate estimate (updates/second).
+  virtual double Estimate() const = 0;
+
+  virtual int64_t polls() const = 0;
+};
+
+/// CGM2's input model: the cache only observes *whether* the object changed
+/// between polls. Bias-corrected estimator from [CGM00a]:
+///   lambda_hat = -ln( (n - X + 0.5) / (n + 0.5) ) / tau_bar
+/// with n polls, X of which found a change, at average interval tau_bar.
+class BooleanChangeEstimator : public LambdaEstimator {
+ public:
+  /// `prior` is returned until `min_polls` observations have accumulated.
+  BooleanChangeEstimator(double prior, int64_t min_polls, double start_time);
+
+  void RecordPoll(double poll_time, bool changed, double last_update_time) override;
+  double Estimate() const override;
+  int64_t polls() const override { return polls_; }
+
+ private:
+  double prior_;
+  int64_t min_polls_;
+  double last_poll_time_;
+  int64_t polls_ = 0;
+  int64_t changed_polls_ = 0;
+  double observed_time_ = 0.0;
+};
+
+/// CGM1's input model: the source reports the time of the most recent
+/// update. The gap between that update and the poll is known to contain no
+/// updates, and the update itself is precisely located, which yields the
+/// censored maximum-likelihood estimator
+///   lambda_hat = X / ( Σ_changed (poll - last_update) + Σ_unchanged tau ),
+/// i.e. observed update count over update-free observation time. Strictly
+/// more informative than the boolean estimator, matching CGM1's edge over
+/// CGM2 in the paper's Figure 6.
+class LastModifiedEstimator : public LambdaEstimator {
+ public:
+  LastModifiedEstimator(double prior, int64_t min_polls, double start_time);
+
+  void RecordPoll(double poll_time, bool changed, double last_update_time) override;
+  double Estimate() const override;
+  int64_t polls() const override { return polls_; }
+
+ private:
+  double prior_;
+  int64_t min_polls_;
+  double last_poll_time_;
+  int64_t polls_ = 0;
+  int64_t observed_changes_ = 0;
+  double quiet_time_ = 0.0;  // observation time known to contain no updates
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_BASELINE_LAMBDA_ESTIMATOR_H_

@@ -1,0 +1,35 @@
+#include "baseline/round_robin.h"
+
+namespace besync {
+
+RoundRobinScheduler::RoundRobinScheduler(const CacheDrivenConfig& config)
+    : config_(config) {}
+
+void RoundRobinScheduler::Initialize(Harness* harness) {
+  harness_ = harness;
+  tick_length_ = harness->config().tick_length;
+  bandwidth_ = std::make_unique<BandwidthModel>(
+      MakeBandwidthFluctuation(config_.cache_bandwidth_avg,
+                               config_.bandwidth_change_rate, harness->scheduler_rng()));
+}
+
+void RoundRobinScheduler::Tick(double t) {
+  const int64_t total = static_cast<int64_t>(harness_->objects().size());
+  int64_t budget = bandwidth_->BudgetForTick(t, tick_length_);
+  // Refreshing more than once per cycle within one tick is useless.
+  if (budget > total) budget = total;
+  while (budget-- > 0) {
+    harness_->RefreshInstant(cursor_, t);
+    ++refreshes_;
+    cursor_ = (cursor_ + 1) % total;
+  }
+}
+
+SchedulerStats RoundRobinScheduler::stats() const {
+  SchedulerStats stats;
+  stats.refreshes_sent = refreshes_;
+  stats.refreshes_delivered = refreshes_;
+  return stats;
+}
+
+}  // namespace besync

@@ -1,0 +1,39 @@
+#ifndef BESYNC_BASELINE_ROUND_ROBIN_H_
+#define BESYNC_BASELINE_ROUND_ROBIN_H_
+
+#include <memory>
+
+#include "baseline/ideal_cache.h"
+#include "core/harness.h"
+#include "net/bandwidth.h"
+
+namespace besync {
+
+/// A deliberately naive cache-driven baseline: refresh objects in a fixed
+/// cyclic order, ignoring update rates, weights and divergence entirely.
+/// Used in examples and ablations as the floor any informed policy should
+/// beat. Refreshes are instantaneous (no polling cost), which makes the
+/// comparison conservative.
+class RoundRobinScheduler : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(const CacheDrivenConfig& config);
+
+  std::string name() const override { return "round-robin"; }
+  void Initialize(Harness* harness) override;
+  void OnObjectUpdate(ObjectIndex /*index*/, double /*t*/) override {}
+  void Tick(double t) override;
+  void OnMeasurementStart(double /*t*/) override { refreshes_ = 0; }
+  SchedulerStats stats() const override;
+
+ private:
+  CacheDrivenConfig config_;
+  Harness* harness_ = nullptr;
+  std::unique_ptr<BandwidthModel> bandwidth_;
+  ObjectIndex cursor_ = 0;
+  int64_t refreshes_ = 0;
+  double tick_length_ = 1.0;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_BASELINE_ROUND_ROBIN_H_

@@ -1,0 +1,55 @@
+#include "core/cache.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace besync {
+
+CacheAgent::CacheAgent(int num_sources) {
+  BESYNC_CHECK_GE(num_sources, 1);
+  sources_.resize(num_sources);
+  scratch_.resize(num_sources);
+  for (int j = 0; j < num_sources; ++j) scratch_[j] = j;
+}
+
+void CacheAgent::RecordRefresh(const Message& message, double /*t*/) {
+  // A batched message counts one refresh per carried object.
+  refreshes_received_ += 1 + static_cast<int64_t>(message.extra_refreshes.size());
+  const int j = message.source_index;
+  BESYNC_DCHECK(j >= 0 && j < static_cast<int>(sources_.size()));
+  if (message.piggyback_threshold > 0.0) {
+    sources_[j].threshold = message.piggyback_threshold;
+    sources_[j].known = true;
+  }
+}
+
+std::vector<int> CacheAgent::SelectFeedbackTargets(int64_t limit, double now) {
+  if (limit <= 0) return {};
+  const int64_t m = static_cast<int64_t>(sources_.size());
+  const int64_t take = std::min(limit, m);
+
+  auto better = [this](int a, int b) {
+    const SourceInfo& sa = sources_[a];
+    const SourceInfo& sb = sources_[b];
+    if (sa.threshold != sb.threshold) return sa.threshold > sb.threshold;
+    return sa.last_fed < sb.last_fed;
+  };
+  if (take < m) {
+    std::nth_element(scratch_.begin(), scratch_.begin() + take, scratch_.end(), better);
+    std::sort(scratch_.begin(), scratch_.begin() + take, better);
+  }
+  std::vector<int> targets(scratch_.begin(), scratch_.begin() + take);
+  for (int j : targets) {
+    sources_[j].last_fed = now;
+    ++feedback_sent_;
+  }
+  return targets;
+}
+
+void CacheAgent::ResetCounters() {
+  refreshes_received_ = 0;
+  feedback_sent_ = 0;
+}
+
+}  // namespace besync

@@ -1,0 +1,52 @@
+#ifndef BESYNC_CORE_CACHE_H_
+#define BESYNC_CORE_CACHE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/message.h"
+
+namespace besync {
+
+/// The cache's role in the cooperative protocol (Section 5): learn source
+/// thresholds from piggybacked refresh messages, monitor cache-side
+/// bandwidth utilization, and spend any surplus on positive feedback
+/// messages, targeting the sources with the highest local thresholds first.
+class CacheAgent {
+ public:
+  explicit CacheAgent(int num_sources);
+
+  /// Records a delivered refresh message (learns the piggybacked threshold).
+  void RecordRefresh(const Message& message, double t);
+
+  /// Selects up to `limit` distinct sources for positive feedback: highest
+  /// known thresholds first ("the sources with the highest local thresholds
+  /// are selected to receive feedback"); sources whose thresholds are still
+  /// unknown sort first so they are bootstrapped quickly; ties go to the
+  /// least recently fed source. Marks the selected sources as fed at `now`.
+  std::vector<int> SelectFeedbackTargets(int64_t limit, double now);
+
+  /// Last threshold piggybacked by source `j`, or +infinity if none seen.
+  double known_threshold(int j) const { return sources_[j].threshold; }
+
+  int64_t refreshes_received() const { return refreshes_received_; }
+  int64_t feedback_sent() const { return feedback_sent_; }
+  void ResetCounters();
+
+ private:
+  struct SourceInfo {
+    double threshold = std::numeric_limits<double>::infinity();
+    bool known = false;
+    double last_fed = -std::numeric_limits<double>::infinity();
+  };
+
+  std::vector<SourceInfo> sources_;
+  std::vector<int> scratch_;  // reused index buffer for selection
+  int64_t refreshes_received_ = 0;
+  int64_t feedback_sent_ = 0;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_CORE_CACHE_H_

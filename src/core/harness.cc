@@ -1,0 +1,145 @@
+#include "core/harness.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace besync {
+
+Harness::Harness(const Workload* workload, const DivergenceMetric* metric,
+                 const HarnessConfig& config)
+    : workload_(workload),
+      metric_(metric),
+      config_(config),
+      scheduler_rng_(config.seed) {
+  BESYNC_CHECK(workload != nullptr);
+  BESYNC_CHECK(metric != nullptr);
+  BESYNC_CHECK_GT(config.tick_length, 0.0);
+  BESYNC_CHECK_GE(config.warmup, 0.0);
+  BESYNC_CHECK_GT(config.measure, 0.0);
+  owned_ground_truth_ = std::make_unique<GroundTruth>(workload, metric);
+  primary_ground_truth_ = owned_ground_truth_.get();
+  ground_truths_.push_back(primary_ground_truth_);
+  objects_.reserve(workload->objects.size());
+  for (const ObjectSpec& spec : workload->objects) {
+    objects_.emplace_back(&spec, metric);
+  }
+}
+
+void Harness::AddGroundTruth(GroundTruth* ground_truth) {
+  BESYNC_CHECK(!ran_) << "AddGroundTruth must precede Run";
+  BESYNC_CHECK(ground_truth != nullptr);
+  ground_truths_.push_back(ground_truth);
+}
+
+double Harness::WeightAt(ObjectIndex index, double t) const {
+  return objects_[index].spec->weight->ValueAt(t);
+}
+
+double Harness::SourceWeightAt(ObjectIndex index, double t) const {
+  const ObjectSpec& spec = *objects_[index].spec;
+  return spec.source_weight ? spec.source_weight->ValueAt(t) : spec.weight->ValueAt(t);
+}
+
+Message Harness::MakeRefreshMessage(ObjectIndex index, double t) {
+  ObjectRuntime& object = objects_[index];
+  Message message;
+  message.kind = MessageKind::kRefresh;
+  message.source_index = object.spec->source_index;
+  message.object_index = index;
+  message.value = object.state.value;
+  message.version = object.state.version;
+  message.send_time = t;
+  message.last_update_time = object.state.last_update_time;
+  message.cost = object.spec->refresh_cost;
+  object.tracker.OnRefresh(t, object.state.value, object.state.version);
+  return message;
+}
+
+void Harness::DeliverRefresh(const Message& message, double t) {
+  BESYNC_DCHECK(message.object_index >= 0);
+  for (GroundTruth* ground_truth : ground_truths_) {
+    ground_truth->OnCacheApply(message.object_index, t, message.value, message.version);
+    for (const RefreshPayload& payload : message.extra_refreshes) {
+      ground_truth->OnCacheApply(payload.object_index, t, payload.value,
+                                 payload.version);
+    }
+  }
+}
+
+void Harness::RefreshInstant(ObjectIndex index, double t) {
+  const Message message = MakeRefreshMessage(index, t);
+  DeliverRefresh(message, t);
+}
+
+void Harness::OnUpdateEvent(ObjectIndex index, double t) {
+  ObjectRuntime& object = objects_[index];
+  object.state.value = object.spec->process->ApplyUpdate(object.state.value, &object.rng);
+  ++object.state.version;
+  object.state.last_update_time = t;
+  object.tracker.OnUpdate(t, object.state.value, object.state.version);
+  for (GroundTruth* ground_truth : ground_truths_) {
+    ground_truth->OnSourceUpdate(index, t, object.state.value, object.state.version);
+  }
+  scheduler_->OnObjectUpdate(index, t);
+  ScheduleNextUpdate(index, t);
+}
+
+void Harness::ScheduleNextUpdate(ObjectIndex index, double now) {
+  ObjectRuntime& object = objects_[index];
+  const double next = object.spec->process->NextUpdateTime(now, &object.rng);
+  if (!std::isfinite(next)) return;
+  sim_.ScheduleAt(next, [this, index](double t) { OnUpdateEvent(index, t); });
+}
+
+Status Harness::Run(Scheduler* scheduler) {
+  if (ran_) return Status::FailedPrecondition("Harness::Run called twice");
+  ran_ = true;
+  BESYNC_CHECK(scheduler != nullptr);
+  scheduler_ = scheduler;
+
+  // Initialize object state and synchronized cache contents at t = 0.
+  for (ObjectRuntime& object : objects_) {
+    object.spec->process->Reset();
+    object.state.value = object.spec->initial_value;
+    object.state.version = 0;
+    object.state.last_update_time = -1.0;
+    object.tracker.OnRefresh(0.0, object.state.value, 0);
+  }
+  for (GroundTruth* ground_truth : ground_truths_) ground_truth->Initialize(0.0);
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    ScheduleNextUpdate(static_cast<ObjectIndex>(i), 0.0);
+  }
+  scheduler->Initialize(this);
+
+  const double end = end_time();
+  const double tick = config_.tick_length;
+  bool measuring = config_.warmup <= 0.0;
+  double next_weight_refresh = config_.weight_refresh_interval;
+
+  double t = 0.0;
+  while (t < end) {
+    const double next = std::min(t + tick, end);
+    sim_.RunUntil(next);
+    scheduler->Tick(next);
+    if (workload_->has_fluctuating_weights && next >= next_weight_refresh) {
+      for (GroundTruth* ground_truth : ground_truths_) {
+        ground_truth->RefreshWeights(next);
+      }
+      next_weight_refresh += config_.weight_refresh_interval;
+    }
+    if (!measuring && next >= config_.warmup) {
+      for (GroundTruth* ground_truth : ground_truths_) {
+        ground_truth->StartMeasurement(next);
+      }
+      scheduler->OnMeasurementStart(next);
+      measuring = true;
+    }
+    t = next;
+  }
+  for (GroundTruth* ground_truth : ground_truths_) ground_truth->FinishMeasurement(end);
+  scheduler->Finalize(end);
+  return Status::OK();
+}
+
+}  // namespace besync

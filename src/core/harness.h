@@ -1,0 +1,165 @@
+#ifndef BESYNC_CORE_HARNESS_H_
+#define BESYNC_CORE_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/object.h"
+#include "data/workload.h"
+#include "divergence/ground_truth.h"
+#include "divergence/metric.h"
+#include "divergence/tracker.h"
+#include "net/message.h"
+#include "sim/simulation.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace besync {
+
+class Harness;
+class Scheduler;
+
+/// Timing and measurement parameters shared by all schedulers.
+struct HarnessConfig {
+  /// Scheduling/network tick length in (simulated) seconds. The paper's
+  /// synthetic experiments use 1 s; the buoy experiment uses 60 s
+  /// (bandwidth is messages per minute there).
+  double tick_length = 1.0;
+  /// Warm-up period excluded from measurements.
+  double warmup = 100.0;
+  /// Measurement window after warm-up.
+  double measure = 1000.0;
+  /// Seconds between re-evaluations of fluctuating weights.
+  double weight_refresh_interval = 20.0;
+  /// Seed for scheduler-side randomness (tie-breaking, link phases). The
+  /// object update streams use per-object seeds from the workload instead,
+  /// so they are identical across schedulers.
+  uint64_t seed = 7;
+};
+
+/// Per-object mutable state during a simulation run.
+struct ObjectRuntime {
+  const ObjectSpec* spec = nullptr;
+  ObjectState state;
+  /// Source-side divergence bookkeeping (vs. the value last shipped).
+  DivergenceTracker tracker;
+  /// Private RNG stream driving this object's updates.
+  Rng rng;
+
+  ObjectRuntime(const ObjectSpec* s, const DivergenceMetric* metric)
+      : spec(s), tracker(metric), rng(s->rng_seed) {}
+};
+
+/// Statistics a scheduler reports after a run (fields irrelevant to a given
+/// scheduler stay zero).
+struct SchedulerStats {
+  int64_t refreshes_sent = 0;
+  int64_t refreshes_delivered = 0;
+  int64_t feedback_sent = 0;
+  int64_t polls_sent = 0;
+  double cache_utilization = 0.0;
+  double avg_cache_queue = 0.0;
+  int64_t max_cache_queue = 0;
+  double mean_threshold = 0.0;
+};
+
+/// Scheduler interface: a refresh-scheduling strategy driven by the Harness.
+/// Tick(t) runs once per tick after all update events with timestamps <= t
+/// have fired.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before the run; the harness outlives the scheduler's use.
+  virtual void Initialize(Harness* harness) = 0;
+
+  /// Notifies that object `index` was updated at time `t`.
+  virtual void OnObjectUpdate(ObjectIndex index, double t) = 0;
+
+  /// Performs one scheduling round at tick boundary `t`.
+  virtual void Tick(double t) = 0;
+
+  /// Called when the warm-up period ends (reset protocol statistics).
+  virtual void OnMeasurementStart(double /*t*/) {}
+
+  /// Called after the final tick.
+  virtual void Finalize(double /*t*/) {}
+
+  virtual SchedulerStats stats() const { return SchedulerStats{}; }
+};
+
+/// Owns the simulation clock, the object runtimes, the update event stream
+/// and the ground-truth divergence accounting; drives a Scheduler through
+/// warm-up and measurement. One Harness instance runs one scheduler once.
+class Harness {
+ public:
+  /// All pointers must outlive the harness.
+  Harness(const Workload* workload, const DivergenceMetric* metric,
+          const HarnessConfig& config);
+
+  /// Registers an additional ground-truth observer (e.g. the source-objective
+  /// view in the competitive experiments). Must be called before Run.
+  void AddGroundTruth(GroundTruth* ground_truth);
+
+  /// Runs `scheduler` over warm-up + measurement. Call once.
+  Status Run(Scheduler* scheduler);
+
+  // --- accessors for schedulers ---
+
+  double now() const { return sim_.now(); }
+  double end_time() const { return config_.warmup + config_.measure; }
+  const HarnessConfig& config() const { return config_; }
+  const Workload& workload() const { return *workload_; }
+  const DivergenceMetric& metric() const { return *metric_; }
+  Simulation& simulation() { return sim_; }
+  std::vector<ObjectRuntime>& objects() { return objects_; }
+  const ObjectRuntime& object(ObjectIndex index) const { return objects_[index]; }
+  GroundTruth& ground_truth() { return *primary_ground_truth_; }
+  Rng* scheduler_rng() { return &scheduler_rng_; }
+
+  /// Cache-scheme weight W(O_i, t).
+  double WeightAt(ObjectIndex index, double t) const;
+  /// Source-scheme weight (falls back to the cache scheme when the object
+  /// defines no separate source weight).
+  double SourceWeightAt(ObjectIndex index, double t) const;
+
+  // --- refresh plumbing ---
+
+  /// Source-side send: builds the refresh message carrying the object's
+  /// current value/version and resets the source-side tracker (the source
+  /// now models the cache as holding this value). The message still has to
+  /// be delivered via DeliverRefresh (or dropped, if a scheduler models
+  /// loss).
+  Message MakeRefreshMessage(ObjectIndex index, double t);
+
+  /// Cache-side apply of a delivered refresh message.
+  void DeliverRefresh(const Message& message, double t);
+
+  /// Oracle path: instantaneous refresh (source send + cache apply with no
+  /// network in between), used by the idealized schedulers.
+  void RefreshInstant(ObjectIndex index, double t);
+
+ private:
+  void OnUpdateEvent(ObjectIndex index, double t);
+  void ScheduleNextUpdate(ObjectIndex index, double now);
+
+  const Workload* workload_;
+  const DivergenceMetric* metric_;
+  HarnessConfig config_;
+  Simulation sim_;
+  std::vector<ObjectRuntime> objects_;
+  std::unique_ptr<GroundTruth> owned_ground_truth_;
+  GroundTruth* primary_ground_truth_;
+  std::vector<GroundTruth*> ground_truths_;
+  Rng scheduler_rng_;
+  Scheduler* scheduler_ = nullptr;
+  bool ran_ = false;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_CORE_HARNESS_H_

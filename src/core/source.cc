@@ -1,0 +1,354 @@
+#include "core/source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace besync {
+
+SourceAgent::SourceAgent(int index, const SourceAgentConfig& config,
+                         double expected_feedback_period, const PriorityPolicy* policy,
+                         Harness* harness)
+    : index_(index),
+      config_(config),
+      policy_(policy),
+      harness_(harness),
+      controller_(config.threshold, expected_feedback_period, /*start_time=*/0.0) {
+  BESYNC_CHECK(policy != nullptr);
+  BESYNC_CHECK(harness != nullptr);
+}
+
+void SourceAgent::AddObject(ObjectIndex index) {
+  if (members_.empty()) {
+    first_member_ = index;
+  } else {
+    BESYNC_CHECK_EQ(index, first_member_ + static_cast<ObjectIndex>(members_.size()))
+        << "source objects must be contiguous";
+  }
+  members_.push_back(index);
+  locals_.emplace_back();
+}
+
+SourceAgent::LocalState& SourceAgent::local(ObjectIndex index) {
+  BESYNC_DCHECK(index >= first_member_);
+  BESYNC_DCHECK(index < first_member_ + static_cast<ObjectIndex>(members_.size()));
+  return locals_[index - first_member_];
+}
+
+const SourceAgent::LocalState& SourceAgent::local(ObjectIndex index) const {
+  return locals_[index - first_member_];
+}
+
+EpochFn SourceAgent::MakeEpochFn() const {
+  return [this](ObjectIndex index) { return CurrentEpoch(index); };
+}
+
+PriorityContext SourceAgent::MakeContext(ObjectIndex index, double now,
+                                         bool use_source_weight) const {
+  const ObjectRuntime& object = harness_->object(index);
+  PriorityContext context;
+  context.tracker = &object.tracker;
+  context.weight = use_source_weight ? harness_->SourceWeightAt(index, now)
+                                     : harness_->WeightAt(index, now);
+  if (config_.cost_aware_priority && object.spec->refresh_cost > 1) {
+    // Section 10.1: non-uniform costs enter the weight inversely.
+    context.weight /= static_cast<double>(object.spec->refresh_cost);
+  }
+  context.max_divergence_rate = object.spec->max_divergence_rate;
+  context.history_rate = local(index).history.rate();
+  context.lambda_estimate = EstimateLambda(
+      config_.lambda_mode, object.spec->lambda, object.state.version, now,
+      object.tracker.updates_since_refresh(), now - object.tracker.last_refresh_time());
+  return context;
+}
+
+double SourceAgent::ComputePriority(ObjectIndex index, double now) const {
+  return policy_->Priority(MakeContext(index, now, /*use_source_weight=*/false), now);
+}
+
+double SourceAgent::ComputeSourcePriority(ObjectIndex index, double now) const {
+  return policy_->Priority(MakeContext(index, now, /*use_source_weight=*/true), now);
+}
+
+void SourceAgent::Start(Simulation* sim, double tick_length) {
+  sim_ = sim;
+  tick_length_ = tick_length;
+  if (policy_->time_varying()) {
+    for (ObjectIndex index : members_) PushWake(index, 0.0);
+  }
+  if (config_.monitor == MonitorMode::kSampling) {
+    Rng* rng = harness_->scheduler_rng();
+    for (ObjectIndex index : members_) {
+      // Stagger initial samples so sampling load is spread over time.
+      const double offset = rng->Uniform(0.0, config_.sampling_interval);
+      sim->ScheduleAt(offset, [this, index](double t) { OnSampleEvent(index, t, sim_); });
+    }
+  }
+}
+
+void SourceAgent::OnObjectUpdate(ObjectIndex index, double t) {
+  if (config_.monitor == MonitorMode::kSampling) return;  // source is blind
+  if (policy_->time_varying()) {
+    if (policy_->update_sensitive()) {
+      // The update may have moved the threshold crossing earlier; re-arm.
+      ++local(index).epoch;
+      PushWake(index, t);
+    }
+    return;
+  }
+  LocalState& state = local(index);
+  ++state.epoch;
+  queue_.Push(ComputePriority(index, t), index, state.epoch);
+  if (secondary_enabled_) {
+    secondary_queue_.Push(ComputeSourcePriority(index, t), index, state.epoch);
+  }
+  MaybeCompact();
+}
+
+void SourceAgent::MaybeCompact() {
+  const size_t trigger = 4 * members_.size() + 64;
+  if (queue_.size() > trigger) queue_.Compact(MakeEpochFn());
+  if (secondary_enabled_ && secondary_queue_.size() > trigger) {
+    secondary_queue_.Compact(MakeEpochFn());
+  }
+}
+
+void SourceAgent::OnSampleEvent(ObjectIndex index, double t, Simulation* sim) {
+  LocalState& state = local(index);
+  // Direct measurement: the source compares its live value against the copy
+  // it last shipped — exactly what the exact tracker's current divergence is.
+  const double divergence = harness_->object(index).tracker.current_divergence();
+  state.sampled.AddSample(t, divergence);
+  ++state.epoch;
+  const double weight = harness_->WeightAt(index, t);
+  queue_.Push(state.sampled.EstimatedPriority(t) * weight, index, state.epoch);
+  MaybeCompact();
+  ScheduleNextSample(index, t, sim);
+}
+
+void SourceAgent::ScheduleNextSample(ObjectIndex index, double now, Simulation* sim) {
+  double next = now + config_.sampling_interval;
+  if (config_.predictive_sampling) {
+    const LocalState& state = local(index);
+    const double weight = harness_->WeightAt(index, now);
+    const double predicted =
+        state.sampled.PredictCrossTime(controller_.threshold(), weight, now);
+    // Sample "somewhat before" the predicted crossing, but never more often
+    // than the minimum gap and never later than the base interval.
+    const double candidate = std::max(now + config_.min_sampling_gap, predicted * 0.95);
+    next = std::min(next, candidate);
+  }
+  sim->ScheduleAt(next, [this, index](double t) { OnSampleEvent(index, t, sim_); });
+}
+
+void SourceAgent::OnFeedback(const Message& message, double t) {
+  controller_.OnFeedback(t, at_full_capacity_);
+  if (message.granted_rate > 0.0) granted_rate_ = message.granted_rate;
+  if (policy_->time_varying()) {
+    // The threshold may have dropped: re-arm wake-ups so crossings that are
+    // now earlier are not missed.
+    for (ObjectIndex index : members_) {
+      ++local(index).epoch;
+      PushWake(index, t);
+    }
+  }
+}
+
+void SourceAgent::PushWake(ObjectIndex index, double now) {
+  const PriorityContext context = MakeContext(index, now, /*use_source_weight=*/false);
+  const double cross =
+      policy_->ThresholdCrossTime(context, controller_.threshold(), now);
+  if (!std::isfinite(cross)) return;
+  wake_queue_.Push(cross, index, local(index).epoch);
+}
+
+void SourceAgent::EmitRefresh(ObjectIndex index, double now, Link* cache_link,
+                              bool bump_threshold) {
+  // Record the finishing interval's realized divergence rate before the
+  // tracker resets (feeds the history-extended policy).
+  {
+    const DivergenceTracker& tracker = harness_->object(index).tracker;
+    local(index).history.OnRefresh(now - tracker.last_refresh_time(),
+                                   tracker.IntegralTo(now));
+  }
+  Message message = harness_->MakeRefreshMessage(index, now);
+  if (config_.monitor == MonitorMode::kSampling) {
+    local(index).sampled.OnRefresh(now);
+  }
+  if (bump_threshold) controller_.OnRefreshSent(now);
+  // Piggyback the current (post-increase) threshold: the freshest
+  // information the cache can have about this source.
+  message.piggyback_threshold = controller_.threshold();
+  cache_link->Enqueue(message);
+  ++local(index).epoch;
+  ++refreshes_sent_;
+  last_emit_time_ = now;
+}
+
+void SourceAgent::EmitBatch(const std::vector<QueueEntry>& batch, double now,
+                            Link* cache_link) {
+  BESYNC_DCHECK(!batch.empty());
+  Message message;
+  for (size_t k = 0; k < batch.size(); ++k) {
+    const ObjectIndex index = batch[k].index;
+    {
+      const DivergenceTracker& tracker = harness_->object(index).tracker;
+      local(index).history.OnRefresh(now - tracker.last_refresh_time(),
+                                     tracker.IntegralTo(now));
+    }
+    if (config_.monitor == MonitorMode::kSampling) {
+      local(index).sampled.OnRefresh(now);
+    }
+    if (k == 0) {
+      message = harness_->MakeRefreshMessage(index, now);
+    } else {
+      const Message part = harness_->MakeRefreshMessage(index, now);
+      message.extra_refreshes.push_back(
+          RefreshPayload{part.object_index, part.value, part.version});
+    }
+    ++local(index).epoch;
+    ++refreshes_sent_;
+  }
+  // The whole batch travels as one unit-cost message — the amortization.
+  message.cost = 1;
+  controller_.OnRefreshSent(now);
+  message.piggyback_threshold = controller_.threshold();
+  cache_link->Enqueue(message);
+  last_emit_time_ = now;
+}
+
+int64_t SourceAgent::SendRefreshes(double now, Link* source_link, Link* cache_link) {
+  at_full_capacity_ = false;
+  if (policy_->time_varying()) {
+    return SendRefreshesTimeVarying(now, source_link, cache_link);
+  }
+  return SendRefreshesEventKeyed(now, source_link, cache_link);
+}
+
+int64_t SourceAgent::SendRefreshesEventKeyed(double now, Link* source_link,
+                                             Link* cache_link) {
+  if (config_.max_batch > 1) return SendRefreshesBatched(now, source_link, cache_link);
+  const EpochFn epoch_fn = MakeEpochFn();
+  int64_t sent = 0;
+  QueueEntry top;
+  while (queue_.PopValid(epoch_fn, &top)) {
+    if (top.key < controller_.threshold() || top.key <= 0.0) {
+      queue_.Restore(top);
+      break;
+    }
+    // Large objects may start transmitting on the last sliver of budget and
+    // spill into the next tick (deficit carryover at the link).
+    const int64_t cost = harness_->object(top.index).spec->refresh_cost;
+    if (!source_link->TryConsumeAllowingDeficit(cost)) {
+      queue_.Restore(top);
+      at_full_capacity_ = true;
+      break;
+    }
+    EmitRefresh(top.index, now, cache_link, /*bump_threshold=*/true);
+    ++sent;
+  }
+  return sent;
+}
+
+int64_t SourceAgent::SendRefreshesBatched(double now, Link* source_link,
+                                          Link* cache_link) {
+  const EpochFn epoch_fn = MakeEpochFn();
+  int64_t messages = 0;
+  while (true) {
+    // Gather up to max_batch over-threshold objects.
+    std::vector<QueueEntry> batch;
+    QueueEntry top;
+    while (static_cast<int>(batch.size()) < config_.max_batch &&
+           queue_.PopValid(epoch_fn, &top)) {
+      if (top.key < controller_.threshold() || top.key <= 0.0) {
+        queue_.Restore(top);
+        break;
+      }
+      batch.push_back(top);
+    }
+    if (batch.empty()) break;
+    const bool full = static_cast<int>(batch.size()) == config_.max_batch;
+    // Partial batches wait (delaying refreshes artificially, Section 10.1)
+    // until the flush deadline expires.
+    if (!full && now - last_emit_time_ < config_.max_batch_delay) {
+      for (const QueueEntry& entry : batch) queue_.Restore(entry);
+      break;
+    }
+    if (!source_link->TryConsumeAllowingDeficit(1)) {
+      for (const QueueEntry& entry : batch) queue_.Restore(entry);
+      at_full_capacity_ = true;
+      break;
+    }
+    EmitBatch(batch, now, cache_link);
+    ++messages;
+    if (!full) break;  // the queue is drained below the batch size
+  }
+  return messages;
+}
+
+int64_t SourceAgent::SendSecondary(double now, int64_t max_count, Link* source_link,
+                                   Link* cache_link) {
+  BESYNC_CHECK(secondary_enabled_);
+  const EpochFn epoch_fn = MakeEpochFn();
+  int64_t sent = 0;
+  QueueEntry top;
+  while (sent < max_count && secondary_queue_.PopValid(epoch_fn, &top)) {
+    if (top.key <= 0.0) {
+      secondary_queue_.Restore(top);
+      break;
+    }
+    const int64_t cost = harness_->object(top.index).spec->refresh_cost;
+    if (!source_link->TryConsumeAllowingDeficit(cost)) {
+      secondary_queue_.Restore(top);
+      at_full_capacity_ = true;
+      break;
+    }
+    EmitRefresh(top.index, now, cache_link, /*bump_threshold=*/false);
+    ++sent;
+  }
+  return sent;
+}
+
+int64_t SourceAgent::SendRefreshesTimeVarying(double now, Link* source_link,
+                                              Link* cache_link) {
+  const EpochFn epoch_fn = MakeEpochFn();
+  // Collect all wake-ups that are due and compute their live priorities.
+  std::vector<QueueEntry> due;
+  QueueEntry entry;
+  while (wake_queue_.PopDue(now, epoch_fn, &entry)) {
+    entry.key = ComputePriority(entry.index, now);
+    due.push_back(entry);
+  }
+  std::sort(due.begin(), due.end(),
+            [](const QueueEntry& a, const QueueEntry& b) { return a.key > b.key; });
+
+  int64_t sent = 0;
+  for (size_t k = 0; k < due.size(); ++k) {
+    const QueueEntry& candidate = due[k];
+    const bool over_threshold =
+        candidate.key >= controller_.threshold() && candidate.key > 0.0;
+    const int64_t cost = harness_->object(candidate.index).spec->refresh_cost;
+    if (over_threshold && !at_full_capacity_ &&
+        source_link->TryConsumeAllowingDeficit(cost)) {
+      EmitRefresh(candidate.index, now, cache_link, /*bump_threshold=*/true);
+      ++sent;
+      PushWake(candidate.index, now);  // re-arm from the new t_last
+      continue;
+    }
+    if (over_threshold) at_full_capacity_ = true;
+    // Not sent: re-check no earlier than the next tick, or at the newly
+    // predicted crossing if that is later.
+    const PriorityContext context =
+        MakeContext(candidate.index, now, /*use_source_weight=*/false);
+    const double cross =
+        policy_->ThresholdCrossTime(context, controller_.threshold(), now);
+    if (!std::isfinite(cross)) continue;
+    wake_queue_.Push(std::max(cross, now + tick_length_), candidate.index,
+                     candidate.epoch);
+  }
+  return sent;
+}
+
+}  // namespace besync

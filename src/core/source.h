@@ -1,0 +1,167 @@
+#ifndef BESYNC_CORE_SOURCE_H_
+#define BESYNC_CORE_SOURCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/threshold.h"
+#include "net/link.h"
+#include "priority/history.h"
+#include "priority/priority.h"
+#include "priority/priority_queue.h"
+#include "priority/sampling.h"
+#include "priority/special_case.h"
+
+namespace besync {
+
+/// How a source learns the priorities of its modified objects (Section 8.2).
+enum class MonitorMode {
+  /// Trigger-based: the source recomputes an object's priority exactly when
+  /// an update occurs.
+  kTrigger,
+  /// Sampling-based (Section 8.2.1): the source periodically samples each
+  /// object's divergence and works with estimated priorities.
+  kSampling,
+};
+
+/// Per-source configuration for the cooperative protocol.
+struct SourceAgentConfig {
+  ThresholdConfig threshold;
+  MonitorMode monitor = MonitorMode::kTrigger;
+  /// Base interval between divergence samples (sampling mode).
+  double sampling_interval = 10.0;
+  /// Sampling mode: schedule the next sample at the predicted
+  /// threshold-crossing time when that is sooner than the base interval
+  /// (Section 8.2.1's prediction formula).
+  bool predictive_sampling = false;
+  /// Minimum gap between samples of one object under predictive sampling.
+  double min_sampling_gap = 1.0;
+  /// Lambda source for the Poisson special-case policies.
+  LambdaEstimateMode lambda_mode = LambdaEstimateMode::kTrue;
+  /// Divide priorities by the object's refresh cost (Section 10.1: "a
+  /// factor inversely proportional to cost"). Identity for unit costs.
+  bool cost_aware_priority = true;
+  /// Maximum refreshes packaged into one unit-cost message (Section 10.1
+  /// batching extension). 1 = the paper's one-object-per-message model.
+  /// Batching requires unit refresh costs.
+  int max_batch = 1;
+  /// A partial batch is flushed once the oldest eligible refresh has waited
+  /// this long since the source's previous emission.
+  double max_batch_delay = 5.0;
+};
+
+/// One cooperating data source S_j: monitors the refresh priorities of its
+/// local objects, maintains a local refresh threshold T_j, and whenever it
+/// has source-side bandwidth available refreshes its highest-priority
+/// objects whose priority exceeds T_j (Section 5).
+class SourceAgent {
+ public:
+  /// `policy` and `harness` must outlive the agent.
+  SourceAgent(int index, const SourceAgentConfig& config,
+              double expected_feedback_period, const PriorityPolicy* policy,
+              Harness* harness);
+
+  int index() const { return index_; }
+  double threshold() const { return controller_.threshold(); }
+  ThresholdController& controller() { return controller_; }
+  bool at_full_capacity() const { return at_full_capacity_; }
+  int64_t refreshes_sent() const { return refreshes_sent_; }
+  double granted_rate() const { return granted_rate_; }
+  size_t num_objects() const { return members_.size(); }
+
+  /// Registers an object hosted by this source. Objects of one source must
+  /// form a contiguous index range (as produced by the workload generators).
+  void AddObject(ObjectIndex index);
+
+  /// Run-start hook: seeds the monitoring machinery (initial wake-ups for
+  /// time-varying policies, sampling schedules).
+  void Start(Simulation* sim, double tick_length);
+
+  /// Trigger-mode notification that object `index` was updated at time `t`.
+  void OnObjectUpdate(ObjectIndex index, double t);
+
+  /// Handles a positive feedback message received at time `t`.
+  void OnFeedback(const Message& message, double t);
+
+  /// Tick send phase: emits refresh messages into `cache_link` while the
+  /// source-side budget allows and over-threshold objects remain. Returns
+  /// the number of messages sent.
+  int64_t SendRefreshes(double now, Link* source_link, Link* cache_link);
+
+  /// Enables the secondary, source-objective priority queue used by the
+  /// competitive protocol (Section 7): updates are additionally prioritized
+  /// under the source's own weighting scheme. Call before Start().
+  void EnableSecondaryQueue() { secondary_enabled_ = true; }
+
+  /// Sends up to `max_count` refreshes picked by the *source's own* priority
+  /// scheme, bypassing the threshold (these consume the bandwidth share the
+  /// cache granted the source for its own objectives). Does not bump the
+  /// threshold controller. Returns the number sent.
+  int64_t SendSecondary(double now, int64_t max_count, Link* source_link,
+                        Link* cache_link);
+
+  /// Resets statistics counters (measurement start).
+  void ResetCounters() { refreshes_sent_ = 0; }
+
+  /// Current weighted priority of an object under this agent's policy.
+  double ComputePriority(ObjectIndex index, double now) const;
+
+  /// Priority under the source's own weighting scheme (Section 7).
+  double ComputeSourcePriority(ObjectIndex index, double now) const;
+
+ private:
+  struct LocalState {
+    uint64_t epoch = 0;
+    SampledTracker sampled;
+    HistoryRateEstimator history;
+  };
+
+  LocalState& local(ObjectIndex index);
+  const LocalState& local(ObjectIndex index) const;
+  uint64_t CurrentEpoch(ObjectIndex index) const { return local(index).epoch; }
+  EpochFn MakeEpochFn() const;
+  PriorityContext MakeContext(ObjectIndex index, double now,
+                              bool use_source_weight) const;
+
+  void OnSampleEvent(ObjectIndex index, double t, Simulation* sim);
+  void ScheduleNextSample(ObjectIndex index, double now, Simulation* sim);
+  /// Sends one refresh for `index` (budget already secured). Threshold
+  /// bumping applies only to refreshes governed by the threshold protocol.
+  void EmitRefresh(ObjectIndex index, double now, Link* cache_link,
+                   bool bump_threshold);
+  /// Sends one batched message covering all of `batch` (unit cost).
+  void EmitBatch(const std::vector<QueueEntry>& batch, double now, Link* cache_link);
+  /// Re-arms the wake-up entry of `index` (time-varying policies).
+  void PushWake(ObjectIndex index, double now);
+  int64_t SendRefreshesEventKeyed(double now, Link* source_link, Link* cache_link);
+  int64_t SendRefreshesBatched(double now, Link* source_link, Link* cache_link);
+  int64_t SendRefreshesTimeVarying(double now, Link* source_link, Link* cache_link);
+  void MaybeCompact();
+
+  int index_;
+  SourceAgentConfig config_;
+  const PriorityPolicy* policy_;
+  Harness* harness_;
+  ThresholdController controller_;
+  std::vector<ObjectIndex> members_;
+  ObjectIndex first_member_ = -1;
+  std::vector<LocalState> locals_;
+  /// Event-keyed queue: priority recomputed on updates (or samples).
+  LazyMaxHeap queue_;
+  /// Competitive mode: the same objects keyed by the source's own priority.
+  LazyMaxHeap secondary_queue_;
+  bool secondary_enabled_ = false;
+  /// Time-varying policies: wake-ups at predicted threshold crossings.
+  TimeMinHeap wake_queue_;
+  double tick_length_ = 1.0;
+  bool at_full_capacity_ = false;
+  int64_t refreshes_sent_ = 0;
+  double granted_rate_ = 0.0;
+  double last_emit_time_ = 0.0;
+  Simulation* sim_ = nullptr;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_CORE_SOURCE_H_

@@ -1,0 +1,155 @@
+#include "core/system.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace besync {
+
+CooperativeScheduler::CooperativeScheduler(const CooperativeConfig& config)
+    : config_(config), policy_(MakePolicy(config.policy, config.history_beta)) {}
+
+void CooperativeScheduler::Initialize(Harness* harness) {
+  harness_ = harness;
+  const Workload& workload = harness->workload();
+  const int m = workload.num_sources;
+  const double tick = harness->config().tick_length;
+
+  double feedback_period = config_.expected_feedback_period;
+  if (feedback_period <= 0.0) {
+    // The paper's estimate: total number of sources / average cache-side
+    // bandwidth. Floored at one tick: feedback is delivered at tick
+    // granularity, so a shorter expected period would spuriously trigger
+    // the flooding accelerator in every steady-state tick.
+    feedback_period =
+        std::max(static_cast<double>(m) / config_.cache_bandwidth_avg, tick);
+  }
+
+  NetworkConfig net_config;
+  net_config.num_sources = m;
+  net_config.cache_bandwidth_avg = config_.cache_bandwidth_avg;
+  net_config.source_bandwidth_avg = config_.source_bandwidth_avg;
+  net_config.bandwidth_change_rate = config_.bandwidth_change_rate;
+  network_ = std::make_unique<Network>(net_config, harness->scheduler_rng());
+  if (config_.loss_rate > 0.0) {
+    network_->cache_link().SetLossRate(config_.loss_rate,
+                                       harness->scheduler_rng()->NextUint64());
+  }
+
+  cache_ = std::make_unique<CacheAgent>(m);
+  sources_.clear();
+  sources_.reserve(m);
+  for (int j = 0; j < m; ++j) {
+    sources_.push_back(std::make_unique<SourceAgent>(
+        j, config_.source, feedback_period, policy_.get(), harness));
+  }
+
+  object_source_.resize(workload.objects.size());
+  for (size_t i = 0; i < workload.objects.size(); ++i) {
+    const int32_t j = workload.objects[i].source_index;
+    object_source_[i] = j;
+    sources_[j]->AddObject(static_cast<ObjectIndex>(i));
+  }
+  for (auto& source : sources_) source->Start(&harness->simulation(), tick);
+
+  source_order_.resize(m);
+  for (int j = 0; j < m; ++j) source_order_[j] = j;
+}
+
+void CooperativeScheduler::OnObjectUpdate(ObjectIndex index, double t) {
+  sources_[object_source_[index]]->OnObjectUpdate(index, t);
+}
+
+void CooperativeScheduler::FillFeedback(Message* /*feedback*/, int /*source_index*/,
+                                        double /*t*/) {}
+
+void CooperativeScheduler::SendPhase(double t) {
+  // Random source visiting order so no source systematically wins the race
+  // for queue positions on the shared cache link.
+  harness_->scheduler_rng()->Shuffle(&source_order_);
+  for (int j : source_order_) {
+    sources_[j]->SendRefreshes(t, &network_->source_link(j), &network_->cache_link());
+  }
+}
+
+void CooperativeScheduler::Tick(double t) {
+  const double tick = harness_->config().tick_length;
+  network_->BeginTick(t, tick);
+
+  // 1. Deliver control messages (feedback) that arrived since last tick.
+  for (int j = 0; j < num_sources(); ++j) {
+    for (const Message& message : network_->TakeSourceMail(j)) {
+      sources_[j]->OnFeedback(message, t);
+    }
+  }
+
+  // 2. Sources emit refreshes for over-threshold objects.
+  SendPhase(t);
+
+  // 3. The cache-side link delivers queued refreshes within its budget.
+  network_->cache_link().DeliverQueued([&](const Message& message) {
+    harness_->DeliverRefresh(message, t);
+    cache_->RecordRefresh(message, t);
+  });
+
+  // 4. Surplus cache-side bandwidth becomes positive feedback, aimed at the
+  //    sources with the highest local thresholds.
+  const int64_t surplus = network_->cache_link().remaining_budget();
+  if (surplus > 0) {
+    const std::vector<int> targets = cache_->SelectFeedbackTargets(surplus, t);
+    for (int j : targets) {
+      // Feedback consumes the (otherwise idle) surplus capacity.
+      const int64_t granted = network_->cache_link().ConsumeBudget(1);
+      BESYNC_DCHECK(granted == 1);
+      Message feedback;
+      feedback.kind = MessageKind::kFeedback;
+      feedback.source_index = j;
+      feedback.send_time = t;
+      FillFeedback(&feedback, j, t);
+      network_->SendToSource(j, feedback);
+    }
+  }
+}
+
+void CooperativeScheduler::OnMeasurementStart(double /*t*/) {
+  network_->ResetStats();
+  cache_->ResetCounters();
+  for (auto& source : sources_) source->ResetCounters();
+}
+
+SchedulerStats CooperativeScheduler::stats() const {
+  SchedulerStats stats;
+  for (const auto& source : sources_) {
+    stats.refreshes_sent += source->refreshes_sent();
+    stats.mean_threshold += source->threshold();
+  }
+  if (!sources_.empty()) {
+    stats.mean_threshold /= static_cast<double>(sources_.size());
+  }
+  stats.refreshes_delivered = cache_->refreshes_received();
+  stats.feedback_sent = cache_->feedback_sent();
+  const Link& link = network_->cache_link();
+  stats.cache_utilization = link.utilization().utilization();
+  stats.avg_cache_queue = link.queue_length_stat().mean();
+  stats.max_cache_queue = static_cast<int64_t>(link.max_queue_size());
+  return stats;
+}
+
+Result<RunResult> RunScheduler(const Workload* workload, const DivergenceMetric* metric,
+                               const HarnessConfig& harness_config,
+                               Scheduler* scheduler) {
+  if (workload == nullptr || metric == nullptr || scheduler == nullptr) {
+    return Status::InvalidArgument("RunScheduler: null argument");
+  }
+  Harness harness(workload, metric, harness_config);
+  BESYNC_RETURN_IF_ERROR(harness.Run(scheduler));
+  RunResult result;
+  result.scheduler_name = scheduler->name();
+  result.total_weighted_divergence = harness.ground_truth().TotalWeightedAverage();
+  result.per_object_weighted = harness.ground_truth().PerObjectWeightedAverage();
+  result.per_object_unweighted = harness.ground_truth().PerObjectUnweightedAverage();
+  result.scheduler = scheduler->stats();
+  return result;
+}
+
+}  // namespace besync

@@ -1,0 +1,107 @@
+#ifndef BESYNC_CORE_SYSTEM_H_
+#define BESYNC_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/harness.h"
+#include "core/source.h"
+#include "net/network.h"
+#include "priority/priority.h"
+#include "util/result.h"
+
+namespace besync {
+
+/// Configuration of the full cooperative protocol (Sections 5-6).
+struct CooperativeConfig {
+  /// Average cache-side bandwidth B_C (messages/second).
+  double cache_bandwidth_avg = 10.0;
+  /// Average source-side bandwidth B_S; <= 0 means unconstrained.
+  double source_bandwidth_avg = -1.0;
+  /// Maximum relative bandwidth change rate mB (0 = constant).
+  double bandwidth_change_rate = 0.0;
+  /// Refresh priority policy; the paper's general area priority by default.
+  PolicyKind policy = PolicyKind::kArea;
+  /// History blend share for PolicyKind::kAreaHistory.
+  double history_beta = 0.5;
+  /// Per-source protocol knobs (threshold parameters, monitoring mode).
+  SourceAgentConfig source;
+  /// Expected feedback period P_feedback; 0 derives the paper's estimate
+  /// (number of sources / average cache-side bandwidth), floored at one tick
+  /// since feedback cannot arrive more often than once per tick.
+  double expected_feedback_period = 0.0;
+  /// Random loss probability on the cache-side link (robustness studies).
+  /// A lost refresh leaves the cache stale until the object's next update
+  /// raises its priority over the threshold again — the protocol has no
+  /// acknowledgments, by design.
+  double loss_rate = 0.0;
+};
+
+/// "Our algorithm": the adaptive threshold-based cooperative refresh
+/// scheduler of Section 5, running over the bandwidth-constrained network
+/// model. Each tick it
+///   1. delivers pending feedback to sources (adjusting local thresholds),
+///   2. lets every source emit refreshes for its over-threshold objects
+///      within its source-side budget (sources visited in random order),
+///   3. delivers queued refresh messages to the cache within the cache-side
+///      budget, and
+///   4. spends any cache-side surplus on positive feedback to the sources
+///      with the highest known thresholds.
+class CooperativeScheduler : public Scheduler {
+ public:
+  explicit CooperativeScheduler(const CooperativeConfig& config);
+
+  std::string name() const override { return "cooperative"; }
+  void Initialize(Harness* harness) override;
+  void OnObjectUpdate(ObjectIndex index, double t) override;
+  void Tick(double t) override;
+  void OnMeasurementStart(double t) override;
+  SchedulerStats stats() const override;
+
+  // Introspection (tests, competitive subclass).
+  int num_sources() const { return static_cast<int>(sources_.size()); }
+  const SourceAgent& source(int j) const { return *sources_[j]; }
+  SourceAgent& mutable_source(int j) { return *sources_[j]; }
+  Link& cache_link() { return network_->cache_link(); }
+  CacheAgent& cache() { return *cache_; }
+
+ protected:
+  /// Hook for subclasses to decorate outgoing feedback (competitive rate
+  /// grants, Section 7).
+  virtual void FillFeedback(Message* feedback, int source_index, double t);
+
+  /// The send phase (step 2); overridden by the competitive scheduler to
+  /// interleave source-priority refreshes.
+  virtual void SendPhase(double t);
+
+  CooperativeConfig config_;
+  Harness* harness_ = nullptr;
+  std::unique_ptr<PriorityPolicy> policy_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<SourceAgent>> sources_;
+  std::unique_ptr<CacheAgent> cache_;
+  std::vector<int> source_order_;
+  std::vector<int32_t> object_source_;
+};
+
+/// Scheduler-agnostic summary of one simulation run.
+struct RunResult {
+  std::string scheduler_name;
+  /// Σ_i time-average of W_i * D_i (the paper's objective).
+  double total_weighted_divergence = 0.0;
+  /// Per-object weighted / unweighted averages.
+  double per_object_weighted = 0.0;
+  double per_object_unweighted = 0.0;
+  SchedulerStats scheduler;
+};
+
+/// Runs `scheduler` over `workload` and returns the measured divergence.
+Result<RunResult> RunScheduler(const Workload* workload, const DivergenceMetric* metric,
+                               const HarnessConfig& harness_config,
+                               Scheduler* scheduler);
+
+}  // namespace besync
+
+#endif  // BESYNC_CORE_SYSTEM_H_

@@ -1,0 +1,24 @@
+#ifndef BESYNC_DATA_OBJECT_H_
+#define BESYNC_DATA_OBJECT_H_
+
+#include <cstdint>
+
+namespace besync {
+
+/// Global object index within a workload (0 .. m*n-1).
+using ObjectIndex = int64_t;
+
+/// The mutable state of one source data object O (paper Section 3.1):
+/// its current value V(O, t) and the count of updates applied so far. The
+/// value remains constant between updates.
+struct ObjectState {
+  double value = 0.0;
+  /// Number of updates ever applied to this object (drives the lag metric).
+  int64_t version = 0;
+  /// Time of the most recent update; negative if never updated.
+  double last_update_time = -1.0;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_DATA_OBJECT_H_

@@ -1,0 +1,124 @@
+#include "data/update_process.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace besync {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}
+
+PoissonRandomWalkProcess::PoissonRandomWalkProcess(double lambda, double step)
+    : lambda_(lambda), step_(step) {
+  BESYNC_CHECK_GE(lambda, 0.0);
+}
+
+double PoissonRandomWalkProcess::NextUpdateTime(double now, Rng* rng) {
+  if (lambda_ <= 0.0) return kInfinity;
+  return now + rng->Exponential(lambda_);
+}
+
+double PoissonRandomWalkProcess::ApplyUpdate(double current_value, Rng* rng) {
+  return current_value + (rng->Bernoulli(0.5) ? step_ : -step_);
+}
+
+BernoulliRandomWalkProcess::BernoulliRandomWalkProcess(double probability, double step)
+    : probability_(probability), step_(step) {
+  BESYNC_CHECK_GE(probability, 0.0);
+  BESYNC_CHECK_LE(probability, 1.0);
+}
+
+double BernoulliRandomWalkProcess::NextUpdateTime(double now, Rng* rng) {
+  if (probability_ <= 0.0) return kInfinity;
+  // Next opportunity is the first integer time strictly after `now`.
+  double slot = std::floor(now) + 1.0;
+  if (probability_ >= 1.0) return slot;
+  // Number of failures before the first success (geometric distribution),
+  // sampled in closed form.
+  const double u = rng->NextDouble();
+  const double failures = std::floor(std::log1p(-u) / std::log1p(-probability_));
+  return slot + failures;
+}
+
+double BernoulliRandomWalkProcess::ApplyUpdate(double current_value, Rng* rng) {
+  return current_value + (rng->Bernoulli(0.5) ? step_ : -step_);
+}
+
+RegimeSwitchingProcess::RegimeSwitchingProcess(double rate_a, double rate_b,
+                                               double regime_length, double step)
+    : rate_a_(rate_a), rate_b_(rate_b), regime_length_(regime_length), step_(step) {
+  BESYNC_CHECK_GE(rate_a, 0.0);
+  BESYNC_CHECK_GE(rate_b, 0.0);
+  BESYNC_CHECK_GT(regime_length, 0.0);
+}
+
+double RegimeSwitchingProcess::RateAt(double t) const {
+  const int64_t regime = static_cast<int64_t>(std::floor(t / regime_length_));
+  return regime % 2 == 0 ? rate_a_ : rate_b_;
+}
+
+double RegimeSwitchingProcess::NextUpdateTime(double now, Rng* rng) {
+  // Piecewise-homogeneous Poisson process: draw within the current regime;
+  // if the candidate falls past the regime boundary, restart the draw from
+  // the boundary (memorylessness makes this exact).
+  double t = now;
+  for (int guard = 0; guard < 1000000; ++guard) {
+    const double rate = RateAt(t);
+    const double boundary =
+        (std::floor(t / regime_length_) + 1.0) * regime_length_;
+    if (rate <= 0.0) {
+      t = boundary;
+      continue;
+    }
+    const double candidate = t + rng->Exponential(rate);
+    if (candidate <= boundary) return candidate;
+    t = boundary;
+  }
+  return kInfinity;  // both rates zero forever
+}
+
+double RegimeSwitchingProcess::ApplyUpdate(double current_value, Rng* rng) {
+  return current_value + (rng->Bernoulli(0.5) ? step_ : -step_);
+}
+
+DriftProcess::DriftProcess(double lambda, double step) : lambda_(lambda), step_(step) {
+  BESYNC_CHECK_GE(lambda, 0.0);
+}
+
+double DriftProcess::NextUpdateTime(double now, Rng* /*rng*/) {
+  if (lambda_ <= 0.0) return kInfinity;
+  const double interval = 1.0 / lambda_;
+  // Next multiple of the interval strictly after `now`.
+  const double k = std::floor(now / interval + 1e-9) + 1.0;
+  return k * interval;
+}
+
+double DriftProcess::ApplyUpdate(double current_value, Rng* /*rng*/) {
+  return current_value + step_;
+}
+
+TraceProcess::TraceProcess(std::vector<TracePoint> points) : points_(std::move(points)) {
+  for (size_t i = 1; i < points_.size(); ++i) {
+    BESYNC_CHECK_GT(points_[i].time, points_[i - 1].time) << "trace times must increase";
+  }
+  if (points_.size() >= 2) {
+    const double span = points_.back().time - points_.front().time;
+    rate_ = span > 0.0 ? static_cast<double>(points_.size() - 1) / span : 0.0;
+  }
+}
+
+double TraceProcess::NextUpdateTime(double now, Rng* /*rng*/) {
+  // Points at or before `now` can never fire anymore; skip them for good.
+  while (cursor_ < points_.size() && points_[cursor_].time <= now) ++cursor_;
+  return cursor_ < points_.size() ? points_[cursor_].time : kInfinity;
+}
+
+double TraceProcess::ApplyUpdate(double current_value, Rng* /*rng*/) {
+  if (cursor_ >= points_.size()) return current_value;
+  return points_[cursor_++].value;
+}
+
+}  // namespace besync

@@ -1,0 +1,26 @@
+#include "data/weight.h"
+
+#include "util/logging.h"
+
+namespace besync {
+
+ProductWeight::ProductWeight(std::unique_ptr<Fluctuation> importance,
+                             std::unique_ptr<Fluctuation> popularity)
+    : importance_(std::move(importance)), popularity_(std::move(popularity)) {
+  BESYNC_CHECK(importance_ != nullptr);
+  BESYNC_CHECK(popularity_ != nullptr);
+}
+
+double ProductWeight::ValueAt(double t) const {
+  return importance_->ValueAt(t) * popularity_->ValueAt(t);
+}
+
+double ProductWeight::average() const {
+  return importance_->average() * popularity_->average();
+}
+
+std::unique_ptr<Fluctuation> MakeConstantWeight(double value) {
+  return std::make_unique<ConstantFluctuation>(value);
+}
+
+}  // namespace besync

@@ -1,0 +1,35 @@
+#ifndef BESYNC_DATA_WEIGHT_H_
+#define BESYNC_DATA_WEIGHT_H_
+
+#include <memory>
+
+#include "util/fluctuation.h"
+
+namespace besync {
+
+/// The paper's overall refresh weight W(O,t) = I(O,t) * P(O,t), the product
+/// of an importance signal and a popularity signal (Section 3.2). Each
+/// factor is a (possibly constant, possibly sine-fluctuating) nonnegative
+/// time function.
+class ProductWeight : public Fluctuation {
+ public:
+  ProductWeight(std::unique_ptr<Fluctuation> importance,
+                std::unique_ptr<Fluctuation> popularity);
+
+  double ValueAt(double t) const override;
+  /// Approximates the average of the product by the product of averages
+  /// (exact when at least one factor is constant, which covers all the
+  /// workloads in the evaluation).
+  double average() const override;
+
+ private:
+  std::unique_ptr<Fluctuation> importance_;
+  std::unique_ptr<Fluctuation> popularity_;
+};
+
+/// Convenience: a constant weight of `value` (the I(O,t) = P(O,t) = 1 case).
+std::unique_ptr<Fluctuation> MakeConstantWeight(double value);
+
+}  // namespace besync
+
+#endif  // BESYNC_DATA_WEIGHT_H_

@@ -1,0 +1,107 @@
+#include "data/workload.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace besync {
+
+Result<Workload> MakeWorkload(const WorkloadConfig& config) {
+  if (config.num_sources < 1) {
+    return Status::InvalidArgument("num_sources must be >= 1, got ",
+                                   config.num_sources);
+  }
+  if (config.objects_per_source < 1) {
+    return Status::InvalidArgument("objects_per_source must be >= 1, got ",
+                                   config.objects_per_source);
+  }
+  if (config.rate_lo < 0.0 || config.rate_hi < config.rate_lo) {
+    return Status::InvalidArgument("invalid rate range");
+  }
+  if (config.update_model == WorkloadConfig::UpdateModel::kBernoulli &&
+      (config.rate_hi > 1.0 || config.fast_rate > 1.0)) {
+    return Status::InvalidArgument(
+        "Bernoulli update probabilities must be <= 1");
+  }
+
+  Rng rng(config.seed);
+  const int64_t total =
+      static_cast<int64_t>(config.num_sources) * config.objects_per_source;
+
+  if (config.large_cost < 1) {
+    return Status::InvalidArgument("large_cost must be >= 1");
+  }
+
+  // Random half-splits for rate, weight and cost skew, drawn independently
+  // ("an independently- and randomly-selected half", Section 4.3).
+  std::vector<bool> fast_half(total, false);
+  std::vector<bool> heavy_half(total, false);
+  std::vector<bool> large_half(total, false);
+  {
+    std::vector<int64_t> ids(total);
+    for (int64_t i = 0; i < total; ++i) ids[i] = i;
+    rng.Shuffle(&ids);
+    for (int64_t i = 0; i < total / 2; ++i) fast_half[ids[i]] = true;
+    rng.Shuffle(&ids);
+    for (int64_t i = 0; i < total / 2; ++i) heavy_half[ids[i]] = true;
+    rng.Shuffle(&ids);
+    for (int64_t i = 0; i < total / 2; ++i) large_half[ids[i]] = true;
+  }
+
+  Workload workload;
+  workload.num_sources = config.num_sources;
+  workload.objects_per_source = config.objects_per_source;
+  workload.has_fluctuating_weights = config.weight_fluctuation_amplitude > 0.0;
+  workload.objects.reserve(total);
+
+  for (int64_t i = 0; i < total; ++i) {
+    ObjectSpec spec;
+    spec.index = i;
+    spec.source_index = static_cast<int32_t>(i / config.objects_per_source);
+
+    switch (config.rate_distribution) {
+      case RateDistribution::kUniform:
+        spec.lambda = rng.Uniform(config.rate_lo, config.rate_hi);
+        break;
+      case RateDistribution::kHalfSlowHalfFast:
+        spec.lambda = fast_half[i] ? config.fast_rate : config.slow_rate;
+        break;
+    }
+
+    switch (config.update_model) {
+      case WorkloadConfig::UpdateModel::kPoisson:
+        spec.process =
+            std::make_unique<PoissonRandomWalkProcess>(spec.lambda, config.value_step);
+        break;
+      case WorkloadConfig::UpdateModel::kBernoulli:
+        spec.process =
+            std::make_unique<BernoulliRandomWalkProcess>(spec.lambda, config.value_step);
+        break;
+    }
+
+    double base_weight = 1.0;
+    if (config.weight_scheme == WeightScheme::kHalfHeavy && heavy_half[i]) {
+      base_weight = config.heavy_weight;
+    }
+    spec.weight = MakeWeightFluctuation(
+        base_weight, config.weight_fluctuation_amplitude, config.weight_period_min,
+        config.weight_period_max, &rng);
+
+    if (config.cost_scheme == CostScheme::kHalfLarge && large_half[i]) {
+      spec.refresh_cost = config.large_cost;
+    }
+
+    // Random-walk values diverge at most `step` per update, so the maximum
+    // divergence rate under the value-deviation metric is lambda * step
+    // (used only by the Section 9 bounding policy).
+    spec.max_divergence_rate = spec.lambda * config.value_step;
+
+    spec.initial_value = 0.0;
+    spec.rng_seed = rng.NextUint64();
+    workload.objects.push_back(std::move(spec));
+  }
+
+  return workload;
+}
+
+}  // namespace besync

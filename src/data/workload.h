@@ -1,0 +1,127 @@
+#ifndef BESYNC_DATA_WORKLOAD_H_
+#define BESYNC_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/object.h"
+#include "data/update_process.h"
+#include "util/fluctuation.h"
+#include "util/result.h"
+
+namespace besync {
+
+/// Static description of one object in a workload. The update process and
+/// weight function are owned here; the per-run mutable state (value,
+/// version, trackers) lives in the scheduler harness.
+struct ObjectSpec {
+  ObjectIndex index = 0;
+  /// Which source hosts this object (0 .. m-1).
+  int32_t source_index = 0;
+  /// Long-run average update rate (the lambda parameter); mirror of
+  /// process->rate() kept here for oracle access.
+  double lambda = 0.0;
+  double initial_value = 0.0;
+  std::unique_ptr<UpdateProcess> process;
+  /// Refresh weight W(O,t) (never null).
+  std::unique_ptr<Fluctuation> weight;
+  /// Optional conflicting per-source weight for the competitive experiments
+  /// of Section 7 (null when sources and cache share one weighting scheme).
+  std::unique_ptr<Fluctuation> source_weight;
+  /// Maximum divergence rate R_i for the divergence-bounding policy of
+  /// Section 9 (<= 0 when unknown/unused).
+  double max_divergence_rate = 0.0;
+  /// Transmission cost of one refresh in bandwidth units (Section 10.1
+  /// non-uniform-cost extension); 1 = the paper's unit-size model.
+  int64_t refresh_cost = 1;
+  /// Seed for this object's private RNG stream; derived deterministically
+  /// from the workload seed so update streams are identical across
+  /// schedulers run on the same workload configuration.
+  uint64_t rng_seed = 0;
+};
+
+/// A complete multi-source workload: m sources with n objects each.
+struct Workload {
+  int num_sources = 0;
+  int objects_per_source = 0;
+  std::vector<ObjectSpec> objects;  // size m*n, grouped by source
+  /// True if any weight fluctuates over time (enables periodic weight
+  /// refresh in the divergence accounting).
+  bool has_fluctuating_weights = false;
+
+  int64_t total_objects() const { return static_cast<int64_t>(objects.size()); }
+};
+
+/// How per-object update rates are assigned (paper Sections 4.3, 6).
+enum class RateDistribution {
+  /// lambda_i ~ Uniform(rate_lo, rate_hi) — "randomly assigned lambda values
+  /// ... following a uniform distribution".
+  kUniform,
+  /// A randomly-selected half updates at `slow_rate`, the other half at
+  /// `fast_rate` — the skewed configuration of Section 4.3 (0.01 vs 1).
+  kHalfSlowHalfFast,
+};
+
+/// How refresh transmission costs (object sizes) are assigned
+/// (Section 10.1 non-uniform-cost extension).
+enum class CostScheme {
+  /// All refreshes cost 1 unit (the paper's model).
+  kUniform,
+  /// A randomly-selected half of the objects cost `large_cost` units.
+  kHalfLarge,
+};
+
+/// How weights are assigned.
+enum class WeightScheme {
+  /// All weights 1.
+  kUniform,
+  /// A randomly-selected half gets weight `heavy_weight`, the rest weight 1
+  /// (Section 4.3's skew: 10 vs 1).
+  kHalfHeavy,
+};
+
+/// Generator parameters for the synthetic random-walk workloads used
+/// throughout the paper's evaluation.
+struct WorkloadConfig {
+  int num_sources = 1;
+  int objects_per_source = 100;
+
+  /// kPoisson: continuous-time Poisson updates (Section 6.2);
+  /// kBernoulli: per-second update probability (Section 4.3).
+  enum class UpdateModel { kPoisson, kBernoulli } update_model = UpdateModel::kPoisson;
+
+  RateDistribution rate_distribution = RateDistribution::kUniform;
+  double rate_lo = 0.0;  ///< uniform rate range lower bound (exclusive if 0)
+  double rate_hi = 1.0;  ///< uniform rate range upper bound
+  double slow_rate = 0.01;
+  double fast_rate = 1.0;
+
+  WeightScheme weight_scheme = WeightScheme::kUniform;
+  double heavy_weight = 10.0;
+
+  CostScheme cost_scheme = CostScheme::kUniform;
+  int64_t large_cost = 4;
+
+  /// Maximum relative amplitude of sine weight fluctuation; 0 = constant
+  /// weights. Periods are drawn uniformly from [weight_period_min,
+  /// weight_period_max] (Section 6: "randomly-assigned amplitudes and
+  /// periods").
+  double weight_fluctuation_amplitude = 0.0;
+  double weight_period_min = 200.0;
+  double weight_period_max = 2000.0;
+
+  /// Random-walk step size per update.
+  double value_step = 1.0;
+
+  uint64_t seed = 1;
+};
+
+/// Builds a synthetic workload. Deterministic given the config (including
+/// the seed): two calls with the same config produce identical specs and
+/// identical per-object RNG seeds.
+Result<Workload> MakeWorkload(const WorkloadConfig& config);
+
+}  // namespace besync
+
+#endif  // BESYNC_DATA_WORKLOAD_H_

@@ -1,0 +1,128 @@
+#include "divergence/ground_truth.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace besync {
+
+GroundTruth::GroundTruth(const Workload* workload, const DivergenceMetric* metric,
+                         bool use_source_weights)
+    : workload_(workload), metric_(metric), use_source_weights_(use_source_weights) {
+  BESYNC_CHECK(workload != nullptr);
+  BESYNC_CHECK(metric != nullptr);
+  entries_.resize(workload->objects.size());
+}
+
+void GroundTruth::Initialize(double t) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const ObjectSpec& spec = workload_->objects[i];
+    Entry& entry = entries_[i];
+    entry.source_value = spec.initial_value;
+    entry.source_version = 0;
+    entry.cached_value = spec.initial_value;
+    entry.cached_version = 0;
+    entry.divergence = 0.0;
+    const Fluctuation* weight_fn =
+        use_source_weights_ && spec.source_weight ? spec.source_weight.get()
+                                                  : spec.weight.get();
+    entry.weight = weight_fn->ValueAt(t);
+  }
+  last_time_ = t;
+  measure_start_ = t;
+  weighted_integral_ = 0.0;
+  unweighted_integral_ = 0.0;
+  RebuildSums();
+}
+
+void GroundTruth::AdvanceTo(double t) {
+  BESYNC_DCHECK(t >= last_time_);
+  const double dt = t - last_time_;
+  if (dt > 0.0) {
+    weighted_integral_ += weighted_sum_ * dt;
+    unweighted_integral_ += unweighted_sum_ * dt;
+    last_time_ = t;
+  }
+}
+
+void GroundTruth::SetDivergence(Entry* entry, double divergence) {
+  weighted_sum_ += (divergence - entry->divergence) * entry->weight;
+  unweighted_sum_ += divergence - entry->divergence;
+  entry->divergence = divergence;
+}
+
+void GroundTruth::RebuildSums() {
+  weighted_sum_ = 0.0;
+  unweighted_sum_ = 0.0;
+  for (const Entry& entry : entries_) {
+    weighted_sum_ += entry.divergence * entry.weight;
+    unweighted_sum_ += entry.divergence;
+  }
+}
+
+void GroundTruth::OnSourceUpdate(ObjectIndex index, double t, double value,
+                                 int64_t version) {
+  AdvanceTo(t);
+  Entry& entry = entries_[index];
+  entry.source_value = value;
+  entry.source_version = version;
+  SetDivergence(&entry, metric_->Divergence(value, version, entry.cached_value,
+                                            entry.cached_version));
+}
+
+void GroundTruth::OnCacheApply(ObjectIndex index, double t, double value,
+                               int64_t version) {
+  AdvanceTo(t);
+  Entry& entry = entries_[index];
+  // Refreshes may be delivered out of order relative to newer content only
+  // in CGM-style protocols; never regress the cached version.
+  if (version < entry.cached_version) return;
+  entry.cached_value = value;
+  entry.cached_version = version;
+  SetDivergence(&entry, metric_->Divergence(entry.source_value, entry.source_version,
+                                            value, version));
+}
+
+void GroundTruth::RefreshWeights(double t) {
+  AdvanceTo(t);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const ObjectSpec& spec = workload_->objects[i];
+    const Fluctuation* weight_fn =
+        use_source_weights_ && spec.source_weight ? spec.source_weight.get()
+                                                  : spec.weight.get();
+    entries_[i].weight = weight_fn->ValueAt(t);
+  }
+  RebuildSums();
+}
+
+void GroundTruth::StartMeasurement(double t) {
+  AdvanceTo(t);
+  weighted_integral_ = 0.0;
+  unweighted_integral_ = 0.0;
+  measure_start_ = t;
+  RebuildSums();
+}
+
+void GroundTruth::FinishMeasurement(double t) { AdvanceTo(t); }
+
+double GroundTruth::TotalWeightedAverage() const {
+  const double duration = measurement_duration();
+  if (duration <= 0.0) return 0.0;
+  // Guard against tiny negative values from float cancellation when the
+  // true integral is ~0.
+  return std::max(0.0, weighted_integral_ / duration);
+}
+
+double GroundTruth::PerObjectWeightedAverage() const {
+  return entries_.empty() ? 0.0
+                          : TotalWeightedAverage() / static_cast<double>(entries_.size());
+}
+
+double GroundTruth::PerObjectUnweightedAverage() const {
+  const double duration = measurement_duration();
+  if (duration <= 0.0 || entries_.empty()) return 0.0;
+  return std::max(0.0,
+                  unweighted_integral_ / duration / static_cast<double>(entries_.size()));
+}
+
+}  // namespace besync

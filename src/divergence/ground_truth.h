@@ -1,0 +1,112 @@
+#ifndef BESYNC_DIVERGENCE_GROUND_TRUTH_H_
+#define BESYNC_DIVERGENCE_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/workload.h"
+#include "divergence/metric.h"
+
+namespace besync {
+
+/// Ground-truth divergence accounting: tracks the *actual* cache contents
+/// (which lag behind the sources whenever refresh messages queue in the
+/// network) against the live source values, and integrates weighted and
+/// unweighted divergence exactly over time.
+///
+/// Divergence is piecewise constant between events, so the integrals are
+/// maintained event-incrementally in O(1) per source update / cache apply;
+/// fluctuating weights are re-evaluated periodically via RefreshWeights()
+/// (the paper's standing assumption is that weights change slowly relative
+/// to refresh timescales, Section 3.3).
+///
+/// The evaluation metric reported by every experiment is the paper's
+/// objective: the (weighted) sum over objects of time-averaged divergence,
+/// also divided by the object count when a per-object average is asked for
+/// (e.g. Figure 5's "average value deviation per data value").
+class GroundTruth {
+ public:
+  /// `workload` and `metric` must outlive this object. When
+  /// `use_source_weights` is set, objects that define a source_weight are
+  /// weighted by it instead of the cache weight (competitive experiments,
+  /// Section 7).
+  GroundTruth(const Workload* workload, const DivergenceMetric* metric,
+              bool use_source_weights = false);
+
+  /// Initializes cache state = source state (synchronized) at time `t`.
+  void Initialize(double t);
+
+  /// Records that source object `index` now has (value, version).
+  void OnSourceUpdate(ObjectIndex index, double t, double value, int64_t version);
+
+  /// Records that the cache applied a refresh for object `index` carrying
+  /// (value, version) — the message content, which may itself be stale if
+  /// the object changed again while the message was queued.
+  void OnCacheApply(ObjectIndex index, double t, double value, int64_t version);
+
+  /// Re-evaluates all weights at time `t` (no-op work-wise for constant
+  /// weights, but always rebuilds the running sums to bound float drift).
+  void RefreshWeights(double t);
+
+  /// Starts the measurement window (end of warm-up): zeroes accumulators.
+  void StartMeasurement(double t);
+
+  /// Closes integration at time `t` (call once at the end of the run).
+  void FinishMeasurement(double t);
+
+  // --- results (valid after FinishMeasurement) ---
+
+  double measurement_duration() const { return last_time_ - measure_start_; }
+  /// Σ_i time-average of W_i(t)·D_i(t), i.e. total weighted divergence rate.
+  double TotalWeightedAverage() const;
+  /// TotalWeightedAverage() / number of objects.
+  double PerObjectWeightedAverage() const;
+  /// Unweighted counterpart (Figure 6 reports unweighted staleness).
+  double PerObjectUnweightedAverage() const;
+
+  // --- live cache state (read by CGM estimators etc.) ---
+
+  double cached_value(ObjectIndex index) const { return entries_[index].cached_value; }
+  int64_t cached_version(ObjectIndex index) const {
+    return entries_[index].cached_version;
+  }
+  double source_value(ObjectIndex index) const { return entries_[index].source_value; }
+  int64_t source_version(ObjectIndex index) const {
+    return entries_[index].source_version;
+  }
+  double current_divergence(ObjectIndex index) const {
+    return entries_[index].divergence;
+  }
+
+ private:
+  struct Entry {
+    double source_value = 0.0;
+    int64_t source_version = 0;
+    double cached_value = 0.0;
+    int64_t cached_version = 0;
+    double divergence = 0.0;
+    double weight = 1.0;
+  };
+
+  /// Integrates the running sums up to `t`.
+  void AdvanceTo(double t);
+  /// Replaces an entry's divergence, maintaining the running sums.
+  void SetDivergence(Entry* entry, double divergence);
+  /// Rebuilds the running sums from scratch (bounds accumulation error).
+  void RebuildSums();
+
+  const Workload* workload_;
+  const DivergenceMetric* metric_;
+  bool use_source_weights_;
+  std::vector<Entry> entries_;
+  double weighted_sum_ = 0.0;    // Σ D_i * W_i at current time
+  double unweighted_sum_ = 0.0;  // Σ D_i at current time
+  double weighted_integral_ = 0.0;
+  double unweighted_integral_ = 0.0;
+  double last_time_ = 0.0;
+  double measure_start_ = 0.0;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_DIVERGENCE_GROUND_TRUTH_H_

@@ -1,0 +1,62 @@
+#include "divergence/metric.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace besync {
+
+std::string MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kStaleness:
+      return "staleness";
+    case MetricKind::kLag:
+      return "lag";
+    case MetricKind::kValueDeviation:
+      return "value-deviation";
+  }
+  return "unknown";
+}
+
+double StalenessMetric::Divergence(double source_value, int64_t /*source_version*/,
+                                   double cached_value,
+                                   int64_t /*cached_version*/) const {
+  return source_value == cached_value ? 0.0 : 1.0;
+}
+
+double LagMetric::Divergence(double /*source_value*/, int64_t source_version,
+                             double /*cached_value*/, int64_t cached_version) const {
+  const int64_t lag = source_version - cached_version;
+  BESYNC_DCHECK(lag >= 0);
+  return static_cast<double>(lag < 0 ? 0 : lag);
+}
+
+ValueDeviationMetric::ValueDeviationMetric()
+    : delta_([](double v1, double v2) { return std::abs(v1 - v2); }) {}
+
+ValueDeviationMetric::ValueDeviationMetric(DeltaFn delta) : delta_(std::move(delta)) {
+  BESYNC_CHECK(delta_ != nullptr);
+}
+
+double ValueDeviationMetric::Divergence(double source_value, int64_t /*source_version*/,
+                                        double cached_value,
+                                        int64_t /*cached_version*/) const {
+  const double deviation = delta_(source_value, cached_value);
+  BESYNC_DCHECK(deviation >= 0.0);
+  return deviation;
+}
+
+std::unique_ptr<DivergenceMetric> MakeMetric(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kStaleness:
+      return std::make_unique<StalenessMetric>();
+    case MetricKind::kLag:
+      return std::make_unique<LagMetric>();
+    case MetricKind::kValueDeviation:
+      return std::make_unique<ValueDeviationMetric>();
+  }
+  BESYNC_CHECK(false) << "unknown metric kind";
+  return nullptr;
+}
+
+}  // namespace besync

@@ -1,0 +1,81 @@
+#ifndef BESYNC_DIVERGENCE_METRIC_H_
+#define BESYNC_DIVERGENCE_METRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace besync {
+
+/// The divergence metrics defined in paper Section 3.1.
+enum class MetricKind {
+  /// D = 0 if the cached value equals the source value, else 1.
+  kStaleness,
+  /// D = number of source updates not reflected in the cached copy.
+  kLag,
+  /// D = delta(V_source, V_cached) for a nonnegative difference function.
+  kValueDeviation,
+};
+
+std::string MetricKindToString(MetricKind kind);
+
+/// Computes the divergence D(O, t) between a source object and a cached
+/// copy from their (value, version) snapshots. Implementations are
+/// stateless; per-object accounting lives in DivergenceTracker.
+class DivergenceMetric {
+ public:
+  virtual ~DivergenceMetric() = default;
+
+  virtual MetricKind kind() const = 0;
+
+  /// Divergence given the source state and the cached state.
+  virtual double Divergence(double source_value, int64_t source_version,
+                            double cached_value, int64_t cached_version) const = 0;
+};
+
+/// Staleness (Section 3.1, metric 1): value equality. Note that with
+/// random-walk data a source value can return to the cached value, making a
+/// stale copy fresh again; the value-based definition from the paper
+/// captures this.
+class StalenessMetric : public DivergenceMetric {
+ public:
+  MetricKind kind() const override { return MetricKind::kStaleness; }
+  double Divergence(double source_value, int64_t source_version, double cached_value,
+                    int64_t cached_version) const override;
+};
+
+/// Lag (Section 3.1, metric 2): number of updates behind.
+class LagMetric : public DivergenceMetric {
+ public:
+  MetricKind kind() const override { return MetricKind::kLag; }
+  double Divergence(double source_value, int64_t source_version, double cached_value,
+                    int64_t cached_version) const override;
+};
+
+/// Value deviation (Section 3.1, metric 3): delta(V1, V2); the default delta
+/// is |V1 - V2|, suitable for "applications such as stock market monitoring
+/// that have single numerical values".
+class ValueDeviationMetric : public DivergenceMetric {
+ public:
+  using DeltaFn = std::function<double(double, double)>;
+
+  /// Constructs with the default delta |V1 - V2|.
+  ValueDeviationMetric();
+  /// Constructs with a custom nonnegative difference function.
+  explicit ValueDeviationMetric(DeltaFn delta);
+
+  MetricKind kind() const override { return MetricKind::kValueDeviation; }
+  double Divergence(double source_value, int64_t source_version, double cached_value,
+                    int64_t cached_version) const override;
+
+ private:
+  DeltaFn delta_;
+};
+
+/// Factory for the metric kinds used by the experiment harness.
+std::unique_ptr<DivergenceMetric> MakeMetric(MetricKind kind);
+
+}  // namespace besync
+
+#endif  // BESYNC_DIVERGENCE_METRIC_H_

@@ -1,0 +1,35 @@
+#include "divergence/tracker.h"
+
+#include "util/logging.h"
+
+namespace besync {
+
+DivergenceTracker::DivergenceTracker(const DivergenceMetric* metric) : metric_(metric) {
+  BESYNC_CHECK(metric != nullptr);
+}
+
+void DivergenceTracker::OnRefresh(double t, double value, int64_t version) {
+  shipped_value_ = value;
+  shipped_version_ = version;
+  last_refresh_time_ = t;
+  last_change_time_ = t;
+  current_divergence_ = 0.0;
+  integral_to_change_ = 0.0;
+  updates_since_refresh_ = 0;
+}
+
+void DivergenceTracker::OnUpdate(double t, double new_value, int64_t new_version) {
+  BESYNC_DCHECK(t >= last_change_time_);
+  integral_to_change_ += current_divergence_ * (t - last_change_time_);
+  current_divergence_ =
+      metric_->Divergence(new_value, new_version, shipped_value_, shipped_version_);
+  last_change_time_ = t;
+  ++updates_since_refresh_;
+}
+
+double DivergenceTracker::IntegralTo(double t) const {
+  BESYNC_DCHECK(t >= last_change_time_);
+  return integral_to_change_ + current_divergence_ * (t - last_change_time_);
+}
+
+}  // namespace besync

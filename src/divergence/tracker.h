@@ -1,0 +1,67 @@
+#ifndef BESYNC_DIVERGENCE_TRACKER_H_
+#define BESYNC_DIVERGENCE_TRACKER_H_
+
+#include <cstdint>
+
+#include "divergence/metric.h"
+
+namespace besync {
+
+/// Per-object divergence bookkeeping from the *source's* point of view: the
+/// source compares its live value against the value it most recently sent to
+/// the cache. Maintains everything the refresh priority function needs:
+///
+///   - the current divergence D(O, t),
+///   - the running integral of divergence since the last refresh,
+///   - the last refresh time t_last.
+///
+/// Divergence is piecewise constant and "an object's priority can only
+/// change when an update occurs" (Section 8.2), so the tracker needs to be
+/// touched only on updates and refreshes; both are O(1).
+class DivergenceTracker {
+ public:
+  /// `metric` must outlive the tracker.
+  explicit DivergenceTracker(const DivergenceMetric* metric);
+
+  /// Resets after a refresh sent at time `t` with the source's current
+  /// (value, version): from now on the cached copy is assumed equal to this
+  /// state, divergence drops to 0 and the integral restarts.
+  void OnRefresh(double t, double value, int64_t version);
+
+  /// Accounts for a source update at time `t` that produced
+  /// (new_value, new_version).
+  void OnUpdate(double t, double new_value, int64_t new_version);
+
+  /// Current divergence D(O, t) (constant since the last update/refresh).
+  double current_divergence() const { return current_divergence_; }
+
+  /// Integral of divergence over [t_last, t]; `t` must be >= the time of the
+  /// last event.
+  double IntegralTo(double t) const;
+
+  double last_refresh_time() const { return last_refresh_time_; }
+  /// Time divergence last changed (last update or refresh).
+  double last_change_time() const { return last_change_time_; }
+  /// Updates accumulated since the last refresh.
+  int64_t updates_since_refresh() const { return updates_since_refresh_; }
+
+  /// Value/version the source last shipped to the cache (its model of the
+  /// cached copy).
+  double shipped_value() const { return shipped_value_; }
+  int64_t shipped_version() const { return shipped_version_; }
+
+ private:
+  const DivergenceMetric* metric_;
+  double shipped_value_ = 0.0;
+  int64_t shipped_version_ = 0;
+  double last_refresh_time_ = 0.0;
+  double last_change_time_ = 0.0;
+  double current_divergence_ = 0.0;
+  /// ∫ D dt over [last_refresh_time_, last_change_time_].
+  double integral_to_change_ = 0.0;
+  int64_t updates_since_refresh_ = 0;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_DIVERGENCE_TRACKER_H_

@@ -1,0 +1,95 @@
+#include "exp/experiment.h"
+
+#include "util/logging.h"
+
+namespace besync {
+
+std::string SchedulerKindToString(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kCooperative:
+      return "cooperative";
+    case SchedulerKind::kIdealCooperative:
+      return "ideal-cooperative";
+    case SchedulerKind::kIdealCacheBased:
+      return "ideal-cache-based";
+    case SchedulerKind::kCGM1:
+      return "cgm1";
+    case SchedulerKind::kCGM2:
+      return "cgm2";
+    case SchedulerKind::kRoundRobin:
+      return "round-robin";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(const ExperimentConfig& config) {
+  switch (config.scheduler) {
+    case SchedulerKind::kCooperative: {
+      CooperativeConfig cooperative;
+      cooperative.cache_bandwidth_avg = config.cache_bandwidth_avg;
+      cooperative.source_bandwidth_avg = config.source_bandwidth_avg;
+      cooperative.bandwidth_change_rate = config.bandwidth_change_rate;
+      cooperative.policy = config.policy;
+      cooperative.source.threshold = config.threshold;
+      cooperative.source.monitor = config.monitor;
+      cooperative.source.sampling_interval = config.sampling_interval;
+      cooperative.source.predictive_sampling = config.predictive_sampling;
+      cooperative.source.lambda_mode = config.lambda_mode;
+      cooperative.source.cost_aware_priority = config.cost_aware_priority;
+      cooperative.source.max_batch = config.max_batch;
+      cooperative.source.max_batch_delay = config.max_batch_delay;
+      cooperative.loss_rate = config.loss_rate;
+      return std::make_unique<CooperativeScheduler>(cooperative);
+    }
+    case SchedulerKind::kIdealCooperative: {
+      IdealConfig ideal;
+      ideal.cache_bandwidth_avg = config.cache_bandwidth_avg;
+      ideal.source_bandwidth_avg = config.source_bandwidth_avg;
+      ideal.bandwidth_change_rate = config.bandwidth_change_rate;
+      ideal.policy = config.policy;
+      ideal.lambda_mode = LambdaEstimateMode::kTrue;
+      ideal.cost_aware_priority = config.cost_aware_priority;
+      return std::make_unique<IdealCooperativeScheduler>(ideal);
+    }
+    case SchedulerKind::kIdealCacheBased: {
+      CacheDrivenConfig cache_driven;
+      cache_driven.cache_bandwidth_avg = config.cache_bandwidth_avg;
+      cache_driven.bandwidth_change_rate = config.bandwidth_change_rate;
+      return std::make_unique<IdealCacheBasedScheduler>(cache_driven);
+    }
+    case SchedulerKind::kCGM1:
+    case SchedulerKind::kCGM2: {
+      CGMConfig cgm = config.cgm;
+      cgm.network.cache_bandwidth_avg = config.cache_bandwidth_avg;
+      cgm.network.bandwidth_change_rate = config.bandwidth_change_rate;
+      cgm.variant = config.scheduler == SchedulerKind::kCGM1
+                        ? CGMVariant::kLastModified
+                        : CGMVariant::kBooleanChange;
+      return std::make_unique<CGMScheduler>(cgm);
+    }
+    case SchedulerKind::kRoundRobin: {
+      CacheDrivenConfig cache_driven;
+      cache_driven.cache_bandwidth_avg = config.cache_bandwidth_avg;
+      cache_driven.bandwidth_change_rate = config.bandwidth_change_rate;
+      return std::make_unique<RoundRobinScheduler>(cache_driven);
+    }
+  }
+  BESYNC_CHECK(false) << "unknown scheduler kind";
+  return nullptr;
+}
+
+Result<RunResult> RunExperimentOnWorkload(const ExperimentConfig& config,
+                                          const Workload* workload) {
+  if (workload == nullptr) return Status::InvalidArgument("null workload");
+  const std::unique_ptr<DivergenceMetric> metric = MakeMetric(config.metric);
+  const std::unique_ptr<Scheduler> scheduler = MakeScheduler(config);
+  return RunScheduler(workload, metric.get(), config.harness, scheduler.get());
+}
+
+Result<RunResult> RunExperiment(const ExperimentConfig& config) {
+  Workload workload;
+  BESYNC_ASSIGN_OR_RETURN(workload, MakeWorkload(config.workload));
+  return RunExperimentOnWorkload(config, &workload);
+}
+
+}  // namespace besync

@@ -1,0 +1,79 @@
+#ifndef BESYNC_EXP_EXPERIMENT_H_
+#define BESYNC_EXP_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "baseline/cgm.h"
+#include "baseline/ideal.h"
+#include "baseline/ideal_cache.h"
+#include "baseline/round_robin.h"
+#include "core/system.h"
+#include "data/workload.h"
+#include "divergence/metric.h"
+#include "util/result.h"
+
+namespace besync {
+
+/// The schedulers an experiment can run (the five curves of Figure 6 plus
+/// the round-robin sanity baseline).
+enum class SchedulerKind {
+  kCooperative,       ///< our algorithm (Section 5)
+  kIdealCooperative,  ///< idealized oracle (Section 3.3)
+  kIdealCacheBased,   ///< CGM with exact rates, no polling cost
+  kCGM1,              ///< CGM with last-modified-time estimation + polls
+  kCGM2,              ///< CGM with boolean-change estimation + polls
+  kRoundRobin,        ///< naive cyclic refresher
+};
+
+std::string SchedulerKindToString(SchedulerKind kind);
+
+/// One experiment = one workload + one metric + one scheduler + bandwidth
+/// knobs. The bandwidth fields are authoritative here and are copied into
+/// whichever scheduler configuration is used.
+struct ExperimentConfig {
+  SchedulerKind scheduler = SchedulerKind::kCooperative;
+  MetricKind metric = MetricKind::kValueDeviation;
+  WorkloadConfig workload;
+  HarnessConfig harness;
+
+  /// Average cache-side bandwidth B_C (messages/second).
+  double cache_bandwidth_avg = 10.0;
+  /// Average source-side bandwidth B_S; <= 0 unconstrained.
+  double source_bandwidth_avg = -1.0;
+  /// Maximum relative bandwidth change rate mB.
+  double bandwidth_change_rate = 0.0;
+
+  /// Priority policy for the cooperative/ideal schedulers.
+  PolicyKind policy = PolicyKind::kArea;
+  /// Threshold algorithm parameters (cooperative scheduler).
+  ThresholdConfig threshold;
+  /// Source monitoring (cooperative scheduler).
+  MonitorMode monitor = MonitorMode::kTrigger;
+  double sampling_interval = 10.0;
+  bool predictive_sampling = false;
+  LambdaEstimateMode lambda_mode = LambdaEstimateMode::kTrue;
+  /// Section 10.1 extensions (cooperative/ideal schedulers).
+  bool cost_aware_priority = true;
+  int max_batch = 1;
+  double max_batch_delay = 5.0;
+  double loss_rate = 0.0;
+
+  /// CGM-specific knobs (bandwidth fields are overwritten from above).
+  CGMConfig cgm;
+};
+
+/// Builds the scheduler named by `config` (bandwidth knobs applied).
+std::unique_ptr<Scheduler> MakeScheduler(const ExperimentConfig& config);
+
+/// Runs the configured scheduler on `workload` (which is Reset and may be
+/// reused across calls — update streams are identical across schedulers).
+Result<RunResult> RunExperimentOnWorkload(const ExperimentConfig& config,
+                                          const Workload* workload);
+
+/// Builds the synthetic workload described by `config.workload`, then runs.
+Result<RunResult> RunExperiment(const ExperimentConfig& config);
+
+}  // namespace besync
+
+#endif  // BESYNC_EXP_EXPERIMENT_H_

@@ -1,0 +1,81 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace besync {
+
+Link::Link(std::string name, std::unique_ptr<BandwidthModel> bandwidth)
+    : name_(std::move(name)), bandwidth_(std::move(bandwidth)) {
+  BESYNC_CHECK(bandwidth_ != nullptr);
+}
+
+void Link::BeginTick(double tick_start, double tick_len) {
+  // Account for the previous tick's budget usage before starting a new one.
+  if (in_tick_) {
+    utilization_.Add(static_cast<double>(tick_budget_ - remaining_),
+                     static_cast<double>(tick_budget_));
+  }
+  // Debt from a multi-tick transmission carries forward; surplus does not.
+  const int64_t debt = std::min<int64_t>(remaining_, 0);
+  tick_budget_ = bandwidth_->BudgetForTick(tick_start, tick_len);
+  remaining_ = tick_budget_ + debt;
+  queue_length_stat_.Add(static_cast<double>(queue_.size()));
+  max_queue_size_ = std::max(max_queue_size_, queue_.size());
+  in_tick_ = true;
+}
+
+void Link::Enqueue(Message message) {
+  queue_.push_back(std::move(message));
+  max_queue_size_ = std::max(max_queue_size_, queue_.size());
+}
+
+int64_t Link::DeliverQueued(const std::function<void(const Message&)>& sink) {
+  int64_t delivered = 0;
+  while (remaining_ > 0 && !queue_.empty()) {
+    const Message message = std::move(queue_.front());
+    queue_.pop_front();
+    remaining_ -= std::max<int64_t>(message.cost, 1);
+    if (loss_rate_ > 0.0 && loss_rng_.Bernoulli(loss_rate_)) {
+      ++messages_dropped_;
+      continue;  // transmission spent, content lost
+    }
+    ++delivered;
+    ++messages_delivered_;
+    sink(message);
+  }
+  return delivered;
+}
+
+int64_t Link::ConsumeBudget(int64_t amount) {
+  BESYNC_CHECK_GE(amount, 0);
+  const int64_t granted = std::max<int64_t>(std::min(amount, remaining_), 0);
+  remaining_ -= granted;
+  return granted;
+}
+
+bool Link::TryConsumeAllowingDeficit(int64_t amount) {
+  BESYNC_CHECK_GE(amount, 0);
+  if (remaining_ <= 0) return false;
+  remaining_ -= amount;
+  return true;
+}
+
+void Link::SetLossRate(double rate, uint64_t seed) {
+  BESYNC_CHECK_GE(rate, 0.0);
+  BESYNC_CHECK_LT(rate, 1.0);
+  loss_rate_ = rate;
+  loss_rng_ = Rng(seed);
+}
+
+void Link::ResetStats() {
+  utilization_.Reset();
+  queue_length_stat_.Reset();
+  messages_delivered_ = 0;
+  messages_dropped_ = 0;
+  max_queue_size_ = queue_.size();
+}
+
+}  // namespace besync

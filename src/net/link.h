@@ -1,0 +1,97 @@
+#ifndef BESYNC_NET_LINK_H_
+#define BESYNC_NET_LINK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/bandwidth.h"
+#include "net/message.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace besync {
+
+/// A bandwidth-constrained link with a FIFO queue, operated in per-tick
+/// budget mode. Implements the paper's "standard underlying network model
+/// where any messages for which there is not enough capacity become enqueued
+/// for later transmission" (Section 1.2).
+///
+/// Per tick, the owner calls BeginTick() to establish the message budget,
+/// then any mix of:
+///  - Enqueue()       -- add a message to the FIFO (no budget consumed yet),
+///  - DeliverQueued() -- deliver queued messages up to the remaining budget,
+///  - ConsumeBudget() -- spend budget on unqueued traffic (e.g. the cache
+///                       spending surplus capacity on feedback messages).
+class Link {
+ public:
+  Link(std::string name, std::unique_ptr<BandwidthModel> bandwidth);
+
+  /// Starts a new tick: computes the tick's budget and records queue stats.
+  /// Debt from a transmission that spilled past the previous tick carries
+  /// over (large messages occupy the link across ticks).
+  void BeginTick(double tick_start, double tick_len);
+
+  /// Adds a message to the FIFO queue.
+  void Enqueue(Message message);
+
+  /// Delivers queued messages (FIFO) while budget remains, invoking `sink`
+  /// for each; a message's `cost` is charged in full when its transmission
+  /// starts, possibly driving the budget negative (the debt reduces the
+  /// next tick's budget). Returns the number delivered. Messages may be
+  /// dropped instead of delivered when a loss rate is configured (their
+  /// cost is still spent — the transmission happened, the content was
+  /// lost).
+  int64_t DeliverQueued(const std::function<void(const Message&)>& sink);
+
+  /// Attempts to consume `amount` units of remaining budget; returns the
+  /// number of units actually granted (possibly fewer).
+  int64_t ConsumeBudget(int64_t amount);
+
+  /// Consumes `amount` units if any budget remains, allowing the balance to
+  /// go negative (multi-tick transmission of a large message). Returns
+  /// whether the consumption happened.
+  bool TryConsumeAllowingDeficit(int64_t amount);
+
+  /// Configures random message loss on delivery (0 = lossless, default).
+  void SetLossRate(double rate, uint64_t seed);
+
+  int64_t remaining_budget() const { return remaining_; }
+  int64_t tick_budget() const { return tick_budget_; }
+  size_t queue_size() const { return queue_.size(); }
+  size_t max_queue_size() const { return max_queue_size_; }
+  const std::string& name() const { return name_; }
+  double average_bandwidth() const { return bandwidth_->average(); }
+
+  /// Cumulative used/offered capacity across ticks.
+  const UtilizationStat& utilization() const { return utilization_; }
+  /// Queue length sampled at each BeginTick.
+  const RunningStat& queue_length_stat() const { return queue_length_stat_; }
+  int64_t messages_delivered() const { return messages_delivered_; }
+  int64_t messages_dropped() const { return messages_dropped_; }
+
+  /// Resets statistics (e.g. at the end of the warm-up period). The queue
+  /// contents and budget state are preserved.
+  void ResetStats();
+
+ private:
+  std::string name_;
+  std::unique_ptr<BandwidthModel> bandwidth_;
+  std::deque<Message> queue_;
+  int64_t tick_budget_ = 0;
+  int64_t remaining_ = 0;
+  int64_t messages_delivered_ = 0;
+  int64_t messages_dropped_ = 0;
+  size_t max_queue_size_ = 0;
+  UtilizationStat utilization_;
+  RunningStat queue_length_stat_;
+  bool in_tick_ = false;
+  double loss_rate_ = 0.0;
+  Rng loss_rng_{0};
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_NET_LINK_H_

@@ -1,0 +1,71 @@
+#ifndef BESYNC_NET_MESSAGE_H_
+#define BESYNC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace besync {
+
+/// One additional object refresh piggybacked on a batched refresh message
+/// (Section 10.1: "amortize network bandwidth by packaging several data
+/// objects into the same message").
+struct RefreshPayload {
+  int64_t object_index = -1;
+  double value = 0.0;
+  int64_t version = 0;
+};
+
+/// Message kinds exchanged between sources and the cache. Following the
+/// paper's simulation model, "all messages have the same size, and each
+/// message requires 1 unit of bandwidth" (Section 6).
+enum class MessageKind {
+  /// Source -> cache: a refreshed object value (cooperative protocol).
+  kRefresh,
+  /// Cache -> source: positive feedback asking the source to lower its
+  /// refresh threshold (Section 5); may carry a competitive-mode rate grant.
+  kFeedback,
+  /// Cache -> source: poll request (CGM baselines, Section 6.3).
+  kPollRequest,
+  /// Source -> cache: poll response carrying the current value (CGM).
+  kPollResponse,
+};
+
+/// A unit-size protocol message. Fields not meaningful for a given kind are
+/// left at their defaults.
+struct Message {
+  MessageKind kind = MessageKind::kRefresh;
+  /// Originating source (refresh / poll response) or target source
+  /// (feedback / poll request).
+  int32_t source_index = -1;
+  /// Global object index within the workload (refresh / poll).
+  int64_t object_index = -1;
+  /// Object value carried by refresh / poll-response messages.
+  double value = 0.0;
+  /// Source-side update count at send time (drives the lag metric and the
+  /// staleness version check at the cache).
+  int64_t version = 0;
+  /// Simulated send time.
+  double send_time = 0.0;
+  /// The sender's local refresh threshold, piggybacked on refresh messages
+  /// so the cache can target feedback at the highest-threshold sources
+  /// (Section 5).
+  double piggyback_threshold = 0.0;
+  /// Competitive mode (Section 7): refresh rate granted to the source for
+  /// its own priority scheme, carried on feedback messages.
+  double granted_rate = 0.0;
+  /// Poll responses: time of the most recent source update (CGM1's
+  /// last-modified-time estimator input); negative if never updated.
+  double last_update_time = -1.0;
+  /// Transmission cost in bandwidth units (object sizes may differ,
+  /// Section 10.1). Default: the paper's unit-size model.
+  int64_t cost = 1;
+  /// Additional refreshes batched into this message (empty for the default
+  /// one-object-per-message model). The primary fields describe the first
+  /// object; a batch of k objects still costs `cost` units — that is the
+  /// amortization being studied.
+  std::vector<RefreshPayload> extra_refreshes;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_NET_MESSAGE_H_

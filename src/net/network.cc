@@ -1,0 +1,71 @@
+#include "net/network.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace besync {
+
+namespace {
+// Budget used for "unconstrained" links; large enough to never bind while
+// staying far from int64 overflow when accumulated.
+constexpr double kUnconstrainedBandwidth = 1e12;
+}  // namespace
+
+Network::Network(const NetworkConfig& config, Rng* rng) : config_(config) {
+  BESYNC_CHECK_GE(config.num_sources, 1);
+  BESYNC_CHECK_GT(config.cache_bandwidth_avg, 0.0);
+  cache_link_ = std::make_unique<Link>(
+      "cache", std::make_unique<BandwidthModel>(MakeBandwidthFluctuation(
+                   config.cache_bandwidth_avg, config.bandwidth_change_rate, rng)));
+  source_links_.reserve(config.num_sources);
+  const double source_bw = config.source_bandwidth_avg > 0.0
+                               ? config.source_bandwidth_avg
+                               : kUnconstrainedBandwidth;
+  const double source_change_rate =
+      config.source_bandwidth_avg > 0.0 ? config.bandwidth_change_rate : 0.0;
+  for (int j = 0; j < config.num_sources; ++j) {
+    source_links_.push_back(std::make_unique<Link>(
+        "source-" + std::to_string(j),
+        std::make_unique<BandwidthModel>(
+            MakeBandwidthFluctuation(source_bw, source_change_rate, rng))));
+  }
+  mail_incoming_.resize(config.num_sources);
+  mail_deliverable_.resize(config.num_sources);
+}
+
+void Network::BeginTick(double tick_start, double tick_len) {
+  cache_link_->BeginTick(tick_start, tick_len);
+  for (auto& link : source_links_) link->BeginTick(tick_start, tick_len);
+  for (int j = 0; j < num_sources(); ++j) {
+    for (auto& message : mail_incoming_[j]) {
+      mail_deliverable_[j].push_back(std::move(message));
+    }
+    mail_incoming_[j].clear();
+  }
+}
+
+Link& Network::source_link(int source_index) {
+  BESYNC_CHECK_GE(source_index, 0);
+  BESYNC_CHECK_LT(source_index, num_sources());
+  return *source_links_[source_index];
+}
+
+void Network::SendToSource(int source_index, Message message) {
+  BESYNC_CHECK_GE(source_index, 0);
+  BESYNC_CHECK_LT(source_index, num_sources());
+  mail_incoming_[source_index].push_back(std::move(message));
+}
+
+std::vector<Message> Network::TakeSourceMail(int source_index) {
+  BESYNC_CHECK_GE(source_index, 0);
+  BESYNC_CHECK_LT(source_index, num_sources());
+  return std::exchange(mail_deliverable_[source_index], {});
+}
+
+void Network::ResetStats() {
+  cache_link_->ResetStats();
+  for (auto& link : source_links_) link->ResetStats();
+}
+
+}  // namespace besync

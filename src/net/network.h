@@ -1,0 +1,66 @@
+#ifndef BESYNC_NET_NETWORK_H_
+#define BESYNC_NET_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/link.h"
+#include "net/message.h"
+#include "util/random.h"
+
+namespace besync {
+
+/// Network topology parameters (paper Section 6: average cache-side
+/// bandwidth B_C, average source-side bandwidth B_S, maximum relative
+/// bandwidth change rate mB).
+struct NetworkConfig {
+  int num_sources = 1;
+  /// Average cache-side bandwidth C(t), messages/second.
+  double cache_bandwidth_avg = 10.0;
+  /// Average source-side bandwidth B_j(t), messages/second. <= 0 means
+  /// unconstrained (the CGM polling model assumes no source-side limits).
+  double source_bandwidth_avg = -1.0;
+  /// Maximum relative rate of bandwidth change (mB). 0 = constant bandwidth.
+  double bandwidth_change_rate = 0.0;
+};
+
+/// The star topology of Figure 1: m source-side links feeding one shared
+/// cache-side link. Also carries the cache -> source control channel
+/// (feedback / poll requests), delivered with one tick of latency.
+class Network {
+ public:
+  Network(const NetworkConfig& config, Rng* rng);
+
+  /// Advances all links into the tick [tick_start, tick_start+tick_len) and
+  /// makes control messages deposited during the previous tick deliverable.
+  void BeginTick(double tick_start, double tick_len);
+
+  Link& cache_link() { return *cache_link_; }
+  const Link& cache_link() const { return *cache_link_; }
+  Link& source_link(int source_index);
+  int num_sources() const { return static_cast<int>(source_links_.size()); }
+
+  /// Deposits a cache -> source control message; it becomes available via
+  /// TakeSourceMail() at the next tick.
+  void SendToSource(int source_index, Message message);
+
+  /// Drains the control messages deliverable to `source_index` this tick.
+  std::vector<Message> TakeSourceMail(int source_index);
+
+  /// Resets link statistics (end of warm-up).
+  void ResetStats();
+
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  NetworkConfig config_;
+  std::unique_ptr<Link> cache_link_;
+  std::vector<std::unique_ptr<Link>> source_links_;
+  // Control-channel double buffer: deposited this tick, delivered next tick.
+  std::vector<std::vector<Message>> mail_incoming_;
+  std::vector<std::vector<Message>> mail_deliverable_;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_NET_NETWORK_H_

@@ -1,0 +1,27 @@
+#include "priority/bound.h"
+
+#include <cmath>
+#include <limits>
+
+namespace besync {
+
+double BoundPriority::Priority(const PriorityContext& context, double now) const {
+  const double elapsed = now - context.tracker->last_refresh_time();
+  const double rate = context.max_divergence_rate;
+  if (rate <= 0.0 || elapsed <= 0.0) return 0.0;
+  return 0.5 * rate * elapsed * elapsed * context.weight;
+}
+
+double BoundPriority::ThresholdCrossTime(const PriorityContext& context,
+                                         double threshold, double now) const {
+  const double rate = context.max_divergence_rate;
+  const double weighted_rate = rate * context.weight;
+  if (weighted_rate <= 0.0) return std::numeric_limits<double>::infinity();
+  if (threshold <= 0.0) return now;
+  // Solve 0.5 * R * W * (t - t_last)^2 = threshold.
+  const double t_last = context.tracker->last_refresh_time();
+  const double cross = t_last + std::sqrt(2.0 * threshold / weighted_rate);
+  return cross > now ? cross : now;
+}
+
+}  // namespace besync

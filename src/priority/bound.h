@@ -1,0 +1,30 @@
+#ifndef BESYNC_PRIORITY_BOUND_H_
+#define BESYNC_PRIORITY_BOUND_H_
+
+#include "priority/priority.h"
+
+namespace besync {
+
+/// Divergence-bounding priority (Section 9): when each object has a known
+/// maximum divergence rate R_i and refresh latency L_i, the divergence bound
+/// is B(O,t) = R_i ((t - t_last) + L_i), and substituting the bound for the
+/// actual divergence in the general priority yields
+///
+///   P(O, t) = R_i (t - t_last)^2 / 2 * W(O, t).
+///
+/// Unlike the other policies this priority grows deterministically with
+/// time, independent of actual updates, so schedulers use the closed-form
+/// ThresholdCrossTime instead of per-update re-evaluation.
+class BoundPriority : public PriorityPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kBound; }
+  double Priority(const PriorityContext& context, double now) const override;
+  bool time_varying() const override { return true; }
+  bool update_sensitive() const override { return false; }
+  double ThresholdCrossTime(const PriorityContext& context, double threshold,
+                            double now) const override;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_PRIORITY_BOUND_H_

@@ -1,0 +1,60 @@
+#include "priority/history.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace besync {
+
+HistoryPriority::HistoryPriority(double beta) : beta_(beta) {
+  BESYNC_CHECK_GE(beta, 0.0);
+  BESYNC_CHECK_LE(beta, 1.0);
+}
+
+double HistoryPriority::Priority(const PriorityContext& context, double now) const {
+  const DivergenceTracker& tracker = *context.tracker;
+  const double elapsed = now - tracker.last_refresh_time();
+  const double area =
+      elapsed * tracker.current_divergence() - tracker.IntegralTo(now);
+  const double predicted = 0.5 * context.history_rate * elapsed * elapsed;
+  return ((1.0 - beta_) * area + beta_ * predicted) * context.weight;
+}
+
+double HistoryPriority::ThresholdCrossTime(const PriorityContext& context,
+                                           double threshold, double now) const {
+  if (Priority(context, now) >= threshold) return now;
+  // Between updates only the quadratic history term grows:
+  //   (1-beta)*W*area + beta*W*r/2*(t-tl)^2 = threshold.
+  const double quadratic_coefficient =
+      0.5 * beta_ * context.history_rate * context.weight;
+  if (quadratic_coefficient <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const DivergenceTracker& tracker = *context.tracker;
+  const double t_last = tracker.last_refresh_time();
+  // The area part is constant between updates; evaluate it at `now`.
+  const double elapsed = now - t_last;
+  const double area =
+      elapsed * tracker.current_divergence() - tracker.IntegralTo(now);
+  const double constant_part = (1.0 - beta_) * area * context.weight;
+  const double radicand = (threshold - constant_part) / quadratic_coefficient;
+  if (radicand <= 0.0) return now;
+  const double cross = t_last + std::sqrt(radicand);
+  return cross > now ? cross : now;
+}
+
+HistoryRateEstimator::HistoryRateEstimator(double smoothing) : smoothing_(smoothing) {
+  BESYNC_CHECK_GT(smoothing, 0.0);
+  BESYNC_CHECK_LE(smoothing, 1.0);
+}
+
+void HistoryRateEstimator::OnRefresh(double interval_length, double integral) {
+  if (interval_length <= 0.0) return;
+  const double realized = 2.0 * integral / (interval_length * interval_length);
+  rate_ = has_observation_ ? (1.0 - smoothing_) * rate_ + smoothing_ * realized
+                           : realized;
+  has_observation_ = true;
+}
+
+}  // namespace besync

@@ -1,0 +1,66 @@
+#ifndef BESYNC_PRIORITY_HISTORY_H_
+#define BESYNC_PRIORITY_HISTORY_H_
+
+#include "priority/priority.h"
+
+namespace besync {
+
+/// History-extended priority (paper Section 10.1, first future-work item:
+/// "priority functions based on a longer history period, to trade
+/// adaptiveness and reduced state for possibly more reliable predictions of
+/// future behavior").
+///
+/// Blends the paper's per-interval area priority with a prediction from the
+/// object's *historical* divergence growth rate r̂ (an EMA over past
+/// refresh intervals, maintained by the scheduler and passed in via
+/// PriorityContext::history_rate):
+///
+///   P = W * [ (1-beta) * area(t)  +  beta * r̂ (t - t_last)^2 / 2 ].
+///
+/// beta = 0 recovers the pure area policy; beta = 1 is a fully
+/// history-driven policy analogous to the Section 9 bound priority with a
+/// learned rate. The history term grows between updates, so the policy is
+/// time-varying *and* update-sensitive.
+class HistoryPriority : public PriorityPolicy {
+ public:
+  /// `beta` in [0, 1]: weight of the historical prediction.
+  explicit HistoryPriority(double beta = 0.5);
+
+  PolicyKind kind() const override { return PolicyKind::kAreaHistory; }
+  double Priority(const PriorityContext& context, double now) const override;
+  bool time_varying() const override { return true; }
+  bool update_sensitive() const override { return true; }
+  double ThresholdCrossTime(const PriorityContext& context, double threshold,
+                            double now) const override;
+
+  double beta() const { return beta_; }
+
+ private:
+  double beta_;
+};
+
+/// Exponential-moving-average tracker of an object's realized divergence
+/// growth rate across refresh intervals. Under a linear-growth model
+/// D(tau) ~ r*tau the integral over an interval of length L is r*L^2/2, so
+/// the realized rate of a finished interval is 2*integral/L^2.
+class HistoryRateEstimator {
+ public:
+  /// `smoothing` in (0, 1]: EMA factor for new observations.
+  explicit HistoryRateEstimator(double smoothing = 0.3);
+
+  /// Records a finished refresh interval [start, end] with divergence
+  /// integral `integral` over it.
+  void OnRefresh(double interval_length, double integral);
+
+  /// Current rate estimate (0 until the first completed interval).
+  double rate() const { return rate_; }
+
+ private:
+  double smoothing_;
+  double rate_ = 0.0;
+  bool has_observation_ = false;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_PRIORITY_HISTORY_H_

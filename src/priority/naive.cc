@@ -1,0 +1,9 @@
+#include "priority/naive.h"
+
+namespace besync {
+
+double NaivePriority::Priority(const PriorityContext& context, double /*now*/) const {
+  return context.tracker->current_divergence() * context.weight;
+}
+
+}  // namespace besync

@@ -1,0 +1,65 @@
+#include "priority/priority.h"
+
+#include <limits>
+
+#include "priority/bound.h"
+#include "priority/history.h"
+#include "priority/naive.h"
+#include "priority/special_case.h"
+#include "util/logging.h"
+
+namespace besync {
+
+std::string PolicyKindToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kArea:
+      return "area";
+    case PolicyKind::kNaive:
+      return "naive";
+    case PolicyKind::kPoissonStaleness:
+      return "poisson-staleness";
+    case PolicyKind::kPoissonLag:
+      return "poisson-lag";
+    case PolicyKind::kBound:
+      return "bound";
+    case PolicyKind::kAreaHistory:
+      return "area-history";
+  }
+  return "unknown";
+}
+
+double PriorityPolicy::ThresholdCrossTime(const PriorityContext& /*context*/,
+                                          double /*threshold*/, double /*now*/) const {
+  BESYNC_CHECK(false) << "ThresholdCrossTime unsupported for policy "
+                      << PolicyKindToString(kind());
+  return std::numeric_limits<double>::infinity();
+}
+
+double AreaPriority::Priority(const PriorityContext& context, double now) const {
+  const DivergenceTracker& tracker = *context.tracker;
+  const double elapsed = now - tracker.last_refresh_time();
+  const double priority =
+      elapsed * tracker.current_divergence() - tracker.IntegralTo(now);
+  return priority * context.weight;
+}
+
+std::unique_ptr<PriorityPolicy> MakePolicy(PolicyKind kind, double history_beta) {
+  switch (kind) {
+    case PolicyKind::kArea:
+      return std::make_unique<AreaPriority>();
+    case PolicyKind::kNaive:
+      return std::make_unique<NaivePriority>();
+    case PolicyKind::kPoissonStaleness:
+      return std::make_unique<PoissonStalenessPriority>();
+    case PolicyKind::kPoissonLag:
+      return std::make_unique<PoissonLagPriority>();
+    case PolicyKind::kBound:
+      return std::make_unique<BoundPriority>();
+    case PolicyKind::kAreaHistory:
+      return std::make_unique<HistoryPriority>(history_beta);
+  }
+  BESYNC_CHECK(false) << "unknown policy kind";
+  return nullptr;
+}
+
+}  // namespace besync

@@ -1,0 +1,77 @@
+#include "priority/priority_queue.h"
+
+#include <algorithm>
+
+namespace besync {
+
+namespace {
+// Max-heap comparator (std::push_heap builds a max-heap with operator<).
+bool KeyLess(const QueueEntry& a, const QueueEntry& b) { return a.key < b.key; }
+// Min-heap comparator.
+bool KeyGreater(const QueueEntry& a, const QueueEntry& b) { return a.key > b.key; }
+}  // namespace
+
+void LazyMaxHeap::Push(double key, ObjectIndex index, uint64_t epoch) {
+  entries_.push_back(QueueEntry{key, index, epoch});
+  std::push_heap(entries_.begin(), entries_.end(), KeyLess);
+}
+
+void LazyMaxHeap::DiscardStaleTop(const EpochFn& current_epoch) {
+  while (!entries_.empty() &&
+         entries_.front().epoch != current_epoch(entries_.front().index)) {
+    std::pop_heap(entries_.begin(), entries_.end(), KeyLess);
+    entries_.pop_back();
+  }
+}
+
+bool LazyMaxHeap::PopValid(const EpochFn& current_epoch, QueueEntry* out) {
+  DiscardStaleTop(current_epoch);
+  if (entries_.empty()) return false;
+  std::pop_heap(entries_.begin(), entries_.end(), KeyLess);
+  *out = entries_.back();
+  entries_.pop_back();
+  return true;
+}
+
+bool LazyMaxHeap::PeekValid(const EpochFn& current_epoch, QueueEntry* out) {
+  DiscardStaleTop(current_epoch);
+  if (entries_.empty()) return false;
+  *out = entries_.front();
+  return true;
+}
+
+void LazyMaxHeap::Restore(const QueueEntry& entry) {
+  entries_.push_back(entry);
+  std::push_heap(entries_.begin(), entries_.end(), KeyLess);
+}
+
+void LazyMaxHeap::Compact(const EpochFn& current_epoch) {
+  std::erase_if(entries_, [&current_epoch](const QueueEntry& entry) {
+    return entry.epoch != current_epoch(entry.index);
+  });
+  std::make_heap(entries_.begin(), entries_.end(), KeyLess);
+}
+
+void TimeMinHeap::Push(double time, ObjectIndex index, uint64_t epoch) {
+  entries_.push_back(QueueEntry{time, index, epoch});
+  std::push_heap(entries_.begin(), entries_.end(), KeyGreater);
+}
+
+bool TimeMinHeap::PopDue(double now, const EpochFn& current_epoch, QueueEntry* out) {
+  while (!entries_.empty()) {
+    const QueueEntry& top = entries_.front();
+    if (top.epoch != current_epoch(top.index)) {
+      std::pop_heap(entries_.begin(), entries_.end(), KeyGreater);
+      entries_.pop_back();
+      continue;
+    }
+    if (top.key > now) return false;  // earliest valid entry not due yet
+    std::pop_heap(entries_.begin(), entries_.end(), KeyGreater);
+    *out = entries_.back();
+    entries_.pop_back();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace besync

@@ -1,0 +1,82 @@
+#ifndef BESYNC_PRIORITY_PRIORITY_QUEUE_H_
+#define BESYNC_PRIORITY_PRIORITY_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/object.h"
+
+namespace besync {
+
+/// Heap entry referencing an object, stamped with the epoch at push time.
+/// Entries whose epoch no longer matches the object's current epoch are
+/// stale and discarded lazily on pop — the standard lazy-deletion trick for
+/// priority queues whose keys change only on explicit events (here: object
+/// updates and refresh sends; Section 8's "sources can maintain a priority
+/// queue so that the highest-priority updated object can be located
+/// quickly").
+struct QueueEntry {
+  double key = 0.0;
+  ObjectIndex index = 0;
+  uint64_t epoch = 0;
+};
+
+/// Resolves an object's current epoch (for staleness checks).
+using EpochFn = std::function<uint64_t(ObjectIndex)>;
+
+/// Max-heap on QueueEntry::key with lazy invalidation.
+class LazyMaxHeap {
+ public:
+  void Push(double key, ObjectIndex index, uint64_t epoch);
+
+  /// Discards stale entries, then removes and returns the top valid entry.
+  /// Returns false if no valid entry remains.
+  bool PopValid(const EpochFn& current_epoch, QueueEntry* out);
+
+  /// Discards stale entries, then peeks the top valid entry without
+  /// removing it. Returns false if no valid entry remains.
+  bool PeekValid(const EpochFn& current_epoch, QueueEntry* out);
+
+  /// Re-inserts an entry previously obtained from PopValid.
+  void Restore(const QueueEntry& entry);
+
+  /// Drops every stale entry and re-heapifies. Since a fresh entry is pushed
+  /// on each object update, callers invoke this periodically (e.g. when the
+  /// heap exceeds a small multiple of the live object count) to keep memory
+  /// proportional to the number of objects rather than the number of
+  /// updates.
+  void Compact(const EpochFn& current_epoch);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  void DiscardStaleTop(const EpochFn& current_epoch);
+
+  std::vector<QueueEntry> entries_;
+};
+
+/// Min-heap on QueueEntry::key interpreted as a timestamp, with the same
+/// lazy invalidation. Used by time-varying (Section 9 bound) policies to
+/// wake objects when their priority is expected to cross the threshold.
+class TimeMinHeap {
+ public:
+  void Push(double time, ObjectIndex index, uint64_t epoch);
+
+  /// Pops the earliest valid entry whose time is <= `now`; returns false if
+  /// none is due.
+  bool PopDue(double now, const EpochFn& current_epoch, QueueEntry* out);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<QueueEntry> entries_;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_PRIORITY_PRIORITY_QUEUE_H_

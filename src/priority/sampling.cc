@@ -1,0 +1,71 @@
+#include "priority/sampling.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace besync {
+
+SampledTracker::SampledTracker(double rate_smoothing) : rate_smoothing_(rate_smoothing) {
+  BESYNC_CHECK_GT(rate_smoothing, 0.0);
+  BESYNC_CHECK_LE(rate_smoothing, 1.0);
+}
+
+void SampledTracker::OnRefresh(double t) {
+  last_refresh_time_ = t;
+  last_sample_time_ = t;
+  segment_start_ = t;
+  current_divergence_ = 0.0;
+  integral_ = 0.0;
+  rate_ = 0.0;
+  samples_since_refresh_ = 0;
+}
+
+void SampledTracker::AddSample(double t, double divergence) {
+  BESYNC_DCHECK(t >= last_sample_time_);
+  BESYNC_DCHECK(divergence >= 0.0);
+  // Midpoint attribution: the previous sample's value is considered active
+  // until halfway between the two samples.
+  const double boundary = 0.5 * (last_sample_time_ + t);
+  integral_ += current_divergence_ * (boundary - segment_start_);
+  segment_start_ = boundary;
+
+  const double dt = t - last_sample_time_;
+  if (dt > 0.0 && samples_since_refresh_ > 0) {
+    const double instant_rate = (divergence - current_divergence_) / dt;
+    rate_ = samples_since_refresh_ == 1
+                ? instant_rate
+                : (1.0 - rate_smoothing_) * rate_ + rate_smoothing_ * instant_rate;
+  } else if (dt > 0.0) {
+    // First sample after a refresh: divergence grew from 0.
+    rate_ = divergence / dt;
+  }
+
+  current_divergence_ = divergence;
+  last_sample_time_ = t;
+  ++samples_since_refresh_;
+}
+
+double SampledTracker::EstimatedIntegralTo(double t) const {
+  BESYNC_DCHECK(t >= segment_start_);
+  return integral_ + current_divergence_ * (t - segment_start_);
+}
+
+double SampledTracker::EstimatedPriority(double t) const {
+  return (t - last_refresh_time_) * current_divergence_ - EstimatedIntegralTo(t);
+}
+
+double SampledTracker::PredictCrossTime(double threshold, double weight,
+                                        double now) const {
+  const double priority_now = EstimatedPriority(now) * weight;
+  if (priority_now >= threshold) return now;
+  if (rate_ <= 0.0 || weight <= 0.0) return std::numeric_limits<double>::infinity();
+  const double elapsed = now - last_refresh_time_;
+  const double radicand =
+      elapsed * elapsed + 2.0 * (threshold - priority_now) / (rate_ * weight);
+  if (radicand < 0.0) return now;
+  return last_refresh_time_ + std::sqrt(radicand);
+}
+
+}  // namespace besync

@@ -1,0 +1,70 @@
+#ifndef BESYNC_PRIORITY_SAMPLING_H_
+#define BESYNC_PRIORITY_SAMPLING_H_
+
+#include <cstdint>
+
+namespace besync {
+
+/// Sampling-based priority monitoring (Section 8.2.1): when triggers are
+/// unavailable or too expensive, a source samples an object's divergence
+/// periodically and estimates the quantities the priority function needs.
+///
+/// Following the paper, "each sampled value can be assumed to have been
+/// active during the period beginning and ending halfway between successive
+/// samples" — i.e. the divergence integral is estimated by midpoint
+/// attribution. The estimated divergence rate rho (smoothed over samples)
+/// feeds the paper's closed-form prediction of when the priority will reach
+/// the refresh threshold:
+///
+///   t_future = t_last + sqrt( (t_now - t_last)^2
+///                             + 2 (T - P(t_now)) / (rho * W) ).
+class SampledTracker {
+ public:
+  /// `rate_smoothing` in (0, 1]: EMA factor for the divergence-rate
+  /// estimate (1 = last sample only).
+  explicit SampledTracker(double rate_smoothing = 0.3);
+
+  /// Resets after a refresh sent at time `t` (divergence drops to zero).
+  void OnRefresh(double t);
+
+  /// Records a direct divergence measurement `divergence` taken at time `t`.
+  void AddSample(double t, double divergence);
+
+  /// Most recently sampled divergence.
+  double estimated_divergence() const { return current_divergence_; }
+
+  /// Estimated ∫ D dt over [t_last, t] under midpoint attribution.
+  double EstimatedIntegralTo(double t) const;
+
+  /// Estimated unweighted priority (area above the estimated divergence
+  /// curve) at time `t`.
+  double EstimatedPriority(double t) const;
+
+  /// Smoothed divergence growth rate rho (per second); 0 until two samples
+  /// have been taken since the last refresh.
+  double estimated_rate() const { return rate_; }
+
+  /// The paper's predicted threshold-crossing time; +infinity when the
+  /// estimated rate or weight is nonpositive. Never less than `now`.
+  double PredictCrossTime(double threshold, double weight, double now) const;
+
+  double last_refresh_time() const { return last_refresh_time_; }
+  int64_t samples_since_refresh() const {
+    return static_cast<int64_t>(samples_since_refresh_);
+  }
+
+ private:
+  double rate_smoothing_;
+  double last_refresh_time_ = 0.0;
+  double last_sample_time_ = 0.0;
+  /// Start of the time segment currently attributed to current_divergence_.
+  double segment_start_ = 0.0;
+  double current_divergence_ = 0.0;
+  double integral_ = 0.0;  // ∫ D dt over [last_refresh_time_, segment_start_]
+  double rate_ = 0.0;
+  long long samples_since_refresh_ = 0;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_PRIORITY_SAMPLING_H_

@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace besync {
+
+void EventQueue::Push(double time, EventCallback callback) {
+  entries_.push_back(Entry{time, next_seq_++, std::move(callback)});
+  std::push_heap(entries_.begin(), entries_.end(), Later);
+}
+
+double EventQueue::NextTime() const {
+  BESYNC_CHECK(!entries_.empty());
+  return entries_.front().time;
+}
+
+EventCallback EventQueue::Pop() {
+  BESYNC_CHECK(!entries_.empty());
+  std::pop_heap(entries_.begin(), entries_.end(), Later);
+  EventCallback callback = std::move(entries_.back().callback);
+  entries_.pop_back();
+  return callback;
+}
+
+void EventQueue::PopInto(double* time, EventCallback* callback) {
+  BESYNC_CHECK(!entries_.empty());
+  std::pop_heap(entries_.begin(), entries_.end(), Later);
+  *time = entries_.back().time;
+  *callback = std::move(entries_.back().callback);
+  entries_.pop_back();
+}
+
+}  // namespace besync

@@ -1,0 +1,56 @@
+#ifndef BESYNC_SIM_EVENT_QUEUE_H_
+#define BESYNC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace besync {
+
+/// Callback invoked when an event fires; receives the event's timestamp.
+using EventCallback = std::function<void(double)>;
+
+/// Min-heap of timestamped events with stable FIFO ordering among events
+/// scheduled for the same instant (ties broken by insertion sequence).
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  void Push(double time, EventCallback callback);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// Timestamp of the earliest event; queue must be non-empty.
+  double NextTime() const;
+
+  /// Removes and returns the earliest event's callback (time via NextTime()
+  /// beforehand, or use PopInto).
+  EventCallback Pop();
+
+  /// Pops the earliest event into (time, callback); queue must be non-empty.
+  void PopInto(double* time, EventCallback* callback);
+
+ private:
+  struct Entry {
+    double time;
+    uint64_t seq;
+    EventCallback callback;
+  };
+
+  // Min-heap ordering: earlier time first; FIFO for equal times.
+  static bool Later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Entry> entries_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,82 @@
+#ifndef BESYNC_UTIL_FLUCTUATION_H_
+#define BESYNC_UTIL_FLUCTUATION_H_
+
+#include <memory>
+
+#include "util/random.h"
+
+namespace besync {
+
+/// A nonnegative time-varying quantity, used for both bandwidth capacities
+/// and object weights. The paper's simulations let "available cache-side and
+/// source-side bandwidth fluctuate over time following a sine wave pattern"
+/// and let "weights vary over time following sine-wave patterns with
+/// randomly-assigned amplitudes and periods" (Section 6).
+class Fluctuation {
+ public:
+  virtual ~Fluctuation() = default;
+
+  /// Value at simulated time `t` (seconds). Always >= 0.
+  virtual double ValueAt(double t) const = 0;
+
+  /// Time average of the signal (the paper's B_S / B_C / base-weight knobs).
+  virtual double average() const = 0;
+};
+
+/// Constant signal (the paper's mB = 0 case).
+class ConstantFluctuation : public Fluctuation {
+ public:
+  explicit ConstantFluctuation(double value);
+
+  double ValueAt(double t) const override;
+  double average() const override { return value_; }
+
+ private:
+  double value_;
+};
+
+/// base * (1 + amplitude * sin(2*pi*t/period + phase)), with amplitude in
+/// [0, 1) so the signal stays positive.
+class SineFluctuation : public Fluctuation {
+ public:
+  SineFluctuation(double base, double relative_amplitude, double period, double phase);
+
+  double ValueAt(double t) const override;
+  double average() const override { return base_; }
+
+  double relative_amplitude() const { return relative_amplitude_; }
+  double period() const { return period_; }
+
+ private:
+  double base_;
+  double relative_amplitude_;
+  double period_;
+  double phase_;
+};
+
+/// Builds the paper's bandwidth model: average bandwidth `average` with
+/// maximum relative rate of change `max_change_rate` (the parameter mB;
+/// Section 6: "The maximum rate of bandwidth change is controlled by
+/// simulation parameter mB. When mB = 0, the amount of available bandwidth
+/// remains constant.").
+///
+/// For a sine B(t) = B*(1 + a*sin(2*pi*t/P + phi)), the maximum relative
+/// change rate is max|B'(t)|/B = 2*pi*a/P. We fix a = 0.5 and solve for the
+/// period P = 2*pi*a/mB, drawing a random phase so multiple links are not
+/// synchronized.
+std::unique_ptr<Fluctuation> MakeBandwidthFluctuation(double average,
+                                                      double max_change_rate,
+                                                      Rng* rng);
+
+/// Builds a randomly-parameterized weight fluctuation: base weight `base`,
+/// random relative amplitude in [0, max_amplitude] and random period in
+/// [min_period, max_period] (Section 6: weights "fluctuate over time
+/// following sine-wave patterns with randomly-assigned amplitudes and
+/// periods"). With max_amplitude = 0 the weight is constant.
+std::unique_ptr<Fluctuation> MakeWeightFluctuation(double base, double max_amplitude,
+                                                   double min_period, double max_period,
+                                                   Rng* rng);
+
+}  // namespace besync
+
+#endif  // BESYNC_UTIL_FLUCTUATION_H_

@@ -1,0 +1,82 @@
+#ifndef BESYNC_UTIL_LOGGING_H_
+#define BESYNC_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace besync {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink. Writes on destruction; aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace besync
+
+#define BESYNC_LOG_INTERNAL(level) \
+  ::besync::internal::LogMessage(level, __FILE__, __LINE__)
+
+#define BESYNC_LOG(severity) \
+  BESYNC_LOG_INTERNAL(::besync::LogLevel::k##severity)
+
+/// Invariant check: always on, aborts with a message on failure. Use for
+/// conditions that indicate a bug in this library, not for user input
+/// validation (use Status for that).
+#define BESYNC_CHECK(condition)                                    \
+  (condition) ? (void)0                                            \
+              : ::besync::internal::LogMessageVoidify() &          \
+                    BESYNC_LOG_INTERNAL(::besync::LogLevel::kFatal) \
+                        << "Check failed: " #condition " "
+
+#define BESYNC_CHECK_OK(expr)                                       \
+  do {                                                              \
+    ::besync::Status _besync_check_status = (expr);                 \
+    BESYNC_CHECK(_besync_check_status.ok())                         \
+        << "'" #expr "' failed: " << _besync_check_status.ToString(); \
+  } while (false)
+
+#define BESYNC_CHECK_EQ(a, b) BESYNC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BESYNC_CHECK_NE(a, b) BESYNC_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BESYNC_CHECK_LT(a, b) BESYNC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BESYNC_CHECK_LE(a, b) BESYNC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BESYNC_CHECK_GT(a, b) BESYNC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BESYNC_CHECK_GE(a, b) BESYNC_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define BESYNC_DCHECK(condition) BESYNC_CHECK(true || (condition))
+#else
+#define BESYNC_DCHECK(condition) BESYNC_CHECK(condition)
+#endif
+
+#endif  // BESYNC_UTIL_LOGGING_H_

@@ -1,0 +1,77 @@
+#ifndef BESYNC_UTIL_RESULT_H_
+#define BESYNC_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace besync {
+
+/// A value-or-error outcome, the fallible counterpart of returning T by value.
+///
+///   Result<Config> ParseConfig(std::string_view text);
+///   ...
+///   BESYNC_ASSIGN_OR_RETURN(Config config, ParseConfig(text));
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a non-OK status (error). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    BESYNC_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; the Result must be ok().
+  const T& ValueOrDie() const& {
+    BESYNC_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    BESYNC_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    BESYNC_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ is set
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status from the
+/// enclosing function, otherwise assigns the value to `lhs`.
+#define BESYNC_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  BESYNC_ASSIGN_OR_RETURN_IMPL_(                                  \
+      BESYNC_STATUS_CONCAT_(_besync_result, __LINE__), lhs, rexpr)
+
+#define BESYNC_STATUS_CONCAT_INNER_(x, y) x##y
+#define BESYNC_STATUS_CONCAT_(x, y) BESYNC_STATUS_CONCAT_INNER_(x, y)
+
+#define BESYNC_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).ValueOrDie()
+
+}  // namespace besync
+
+#endif  // BESYNC_UTIL_RESULT_H_

@@ -1,0 +1,41 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace besync {
+
+void RunningStat::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+void TimeWeightedMean::Add(double value, double duration) {
+  if (duration <= 0.0) return;
+  integral_ += value * duration;
+  total_time_ += duration;
+}
+
+void TimeWeightedMean::Reset() { *this = TimeWeightedMean(); }
+
+void UtilizationStat::Add(double used, double capacity) {
+  used_ += used;
+  capacity_ += capacity;
+}
+
+void UtilizationStat::Reset() { *this = UtilizationStat(); }
+
+}  // namespace besync

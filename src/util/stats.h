@@ -1,0 +1,72 @@
+#ifndef BESYNC_UTIL_STATS_H_
+#define BESYNC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace besync {
+
+/// Streaming mean/variance/min/max over discrete samples (Welford).
+class RunningStat {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  void Reset();
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a piecewise-constant signal: feed (value held,
+/// duration held) pairs; `mean()` is ∫ value dt / ∫ dt. This is the
+/// "time-averaged divergence" accumulator used throughout the evaluation.
+class TimeWeightedMean {
+ public:
+  /// Accounts for `value` having been held for `duration` time units.
+  /// Negative durations are ignored.
+  void Add(double value, double duration);
+
+  double total_time() const { return total_time_; }
+  double integral() const { return integral_; }
+  double mean() const { return total_time_ > 0.0 ? integral_ / total_time_ : 0.0; }
+
+  void Reset();
+
+ private:
+  double integral_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+/// Ratio counter for link utilization: used capacity vs offered capacity.
+class UtilizationStat {
+ public:
+  void Add(double used, double capacity);
+
+  double used() const { return used_; }
+  double capacity() const { return capacity_; }
+  /// Fraction of offered capacity actually used (0 if none offered).
+  double utilization() const { return capacity_ > 0.0 ? used_ / capacity_ : 0.0; }
+
+  void Reset();
+
+ private:
+  double used_ = 0.0;
+  double capacity_ = 0.0;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_UTIL_STATS_H_

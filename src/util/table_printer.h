@@ -1,0 +1,51 @@
+#ifndef BESYNC_UTIL_TABLE_PRINTER_H_
+#define BESYNC_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace besync {
+
+/// Column-aligned console table used by the experiment binaries to print the
+/// rows/series the paper reports, plus optional CSV export for plotting.
+///
+///   TablePrinter table({"bandwidth", "ideal", "ours"});
+///   table.AddRow({Cell(10), Cell(0.42), Cell(0.45)});
+///   table.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Formats a double with 4 significant decimals (trailing zeros trimmed).
+  static std::string Cell(double value);
+  static std::string Cell(int64_t value);
+  static std::string Cell(int value) { return Cell(static_cast<int64_t>(value)); }
+  static std::string Cell(size_t value) { return Cell(static_cast<int64_t>(value)); }
+  static std::string Cell(const std::string& value) { return value; }
+  static std::string Cell(const char* value) { return value; }
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Writes an aligned plain-text table.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  Status WriteCsv(const std::string& path) const;
+  void WriteCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_UTIL_TABLE_PRINTER_H_

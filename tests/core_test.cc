@@ -1,0 +1,284 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/cache.h"
+#include "core/harness.h"
+#include "core/system.h"
+#include "divergence/metric.h"
+#include "exp/experiment.h"
+
+namespace besync {
+namespace {
+
+// -------------------------------------------------------------- CacheAgent
+
+TEST(CacheAgentTest, UnknownThresholdsSelectedFirst) {
+  CacheAgent cache(3);
+  Message message;
+  message.kind = MessageKind::kRefresh;
+  message.source_index = 0;
+  message.piggyback_threshold = 5.0;
+  cache.RecordRefresh(message, 1.0);
+  // Sources 1 and 2 are unknown (+inf) -> they outrank source 0.
+  auto targets = cache.SelectFeedbackTargets(2, 2.0);
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_TRUE((targets[0] == 1 && targets[1] == 2) ||
+              (targets[0] == 2 && targets[1] == 1));
+}
+
+TEST(CacheAgentTest, HighestThresholdFirst) {
+  CacheAgent cache(3);
+  for (int j = 0; j < 3; ++j) {
+    Message message;
+    message.source_index = j;
+    message.piggyback_threshold = 1.0 + j;
+    cache.RecordRefresh(message, 1.0);
+  }
+  auto targets = cache.SelectFeedbackTargets(1, 2.0);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], 2);  // threshold 3.0 is the highest
+}
+
+TEST(CacheAgentTest, TiesGoToLeastRecentlyFed) {
+  CacheAgent cache(2);
+  for (int j = 0; j < 2; ++j) {
+    Message message;
+    message.source_index = j;
+    message.piggyback_threshold = 7.0;
+    cache.RecordRefresh(message, 1.0);
+  }
+  auto first = cache.SelectFeedbackTargets(1, 2.0);
+  auto second = cache.SelectFeedbackTargets(1, 3.0);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NE(first[0], second[0]);  // alternates under equal thresholds
+}
+
+TEST(CacheAgentTest, LimitRespectsSourceCount) {
+  CacheAgent cache(3);
+  EXPECT_EQ(cache.SelectFeedbackTargets(100, 1.0).size(), 3u);
+  EXPECT_EQ(cache.SelectFeedbackTargets(0, 1.0).size(), 0u);
+  EXPECT_EQ(cache.feedback_sent(), 3);
+}
+
+// ------------------------------------------------------- Cooperative system
+
+// Shared fixture utilities: small deterministic workloads.
+WorkloadConfig SmallWorkload(int sources, int per_source, uint64_t seed = 42) {
+  WorkloadConfig config;
+  config.num_sources = sources;
+  config.objects_per_source = per_source;
+  config.rate_lo = 0.05;
+  config.rate_hi = 0.5;
+  config.seed = seed;
+  return config;
+}
+
+HarnessConfig ShortRun(double warmup = 50.0, double measure = 300.0) {
+  HarnessConfig config;
+  config.warmup = warmup;
+  config.measure = measure;
+  return config;
+}
+
+TEST(CooperativeSystemTest, AmpleBandwidthGivesNearZeroDivergence) {
+  // 20 objects updating ~0.3/s => ~6 updates/s total; bandwidth 100/s.
+  Workload workload = std::move(MakeWorkload(SmallWorkload(2, 10))).ValueOrDie();
+  auto metric = MakeMetric(MetricKind::kValueDeviation);
+  CooperativeConfig config;
+  config.cache_bandwidth_avg = 100.0;
+  CooperativeScheduler scheduler(config);
+  auto result = RunScheduler(&workload, metric.get(), ShortRun(), &scheduler);
+  ASSERT_TRUE(result.ok());
+  // Divergence can never be identically zero (updates land mid-tick), but
+  // it must be small: each object is stale for at most ~1 tick per update.
+  EXPECT_LT(result->per_object_weighted, 0.5);
+  EXPECT_GT(result->scheduler.refreshes_delivered, 0);
+}
+
+TEST(CooperativeSystemTest, ScarceBandwidthDoesNotFlood) {
+  // Heavy overload: ~50 updates/s offered, 5/s of cache bandwidth.
+  WorkloadConfig wl = SmallWorkload(10, 10);
+  wl.rate_lo = 0.3;
+  wl.rate_hi = 0.7;
+  Workload workload = std::move(MakeWorkload(wl)).ValueOrDie();
+  auto metric = MakeMetric(MetricKind::kValueDeviation);
+  CooperativeConfig config;
+  config.cache_bandwidth_avg = 5.0;
+  CooperativeScheduler scheduler(config);
+  auto result = RunScheduler(&workload, metric.get(), ShortRun(), &scheduler);
+  ASSERT_TRUE(result.ok());
+  // The positive-feedback design keeps the cache queue bounded: the paper's
+  // key stability property. Allow slack, but far below the ~5000 messages
+  // an uncontrolled sender population would pile up.
+  EXPECT_LT(result->scheduler.max_cache_queue, 200);
+  // Bandwidth should be well-used despite the conservative thresholds.
+  EXPECT_GT(result->scheduler.cache_utilization, 0.5);
+}
+
+TEST(CooperativeSystemTest, UtilizationFillsWithFeedback) {
+  // Moderate load: the adaptive thresholds should discover spare bandwidth
+  // via positive feedback and keep utilization reasonably high.
+  WorkloadConfig wl = SmallWorkload(5, 10);
+  wl.rate_lo = 0.2;
+  wl.rate_hi = 1.0;
+  Workload workload = std::move(MakeWorkload(wl)).ValueOrDie();
+  auto metric = MakeMetric(MetricKind::kValueDeviation);
+  CooperativeConfig config;
+  config.cache_bandwidth_avg = 15.0;  // about half the update volume
+  CooperativeScheduler scheduler(config);
+  auto result = RunScheduler(&workload, metric.get(), ShortRun(), &scheduler);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->scheduler.cache_utilization, 0.6);
+  EXPECT_GT(result->scheduler.feedback_sent, 0);
+}
+
+TEST(CooperativeSystemTest, SourceBandwidthLimitsRespected) {
+  WorkloadConfig wl = SmallWorkload(4, 25);
+  wl.rate_lo = 0.5;
+  wl.rate_hi = 1.0;
+  Workload workload = std::move(MakeWorkload(wl)).ValueOrDie();
+  auto metric = MakeMetric(MetricKind::kStaleness);
+  CooperativeConfig config;
+  config.cache_bandwidth_avg = 1000.0;  // cache is not the bottleneck
+  config.source_bandwidth_avg = 2.0;    // each source capped at 2 msg/s
+  CooperativeScheduler scheduler(config);
+  HarnessConfig harness = ShortRun();
+  auto result = RunScheduler(&workload, metric.get(), harness, &scheduler);
+  ASSERT_TRUE(result.ok());
+  // 4 sources x 2 msg/s x 300 s measurement = at most ~2400 refreshes.
+  EXPECT_LE(result->scheduler.refreshes_sent, 2500);
+}
+
+TEST(CooperativeSystemTest, HigherBandwidthNeverHurts) {
+  auto metric = MakeMetric(MetricKind::kValueDeviation);
+  double previous = 1e18;
+  for (double bandwidth : {2.0, 10.0, 50.0}) {
+    Workload workload = std::move(MakeWorkload(SmallWorkload(4, 10))).ValueOrDie();
+    CooperativeConfig config;
+    config.cache_bandwidth_avg = bandwidth;
+    CooperativeScheduler scheduler(config);
+    auto result = RunScheduler(&workload, metric.get(), ShortRun(), &scheduler);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LT(result->per_object_weighted, previous * 1.1);
+    previous = result->per_object_weighted;
+  }
+}
+
+TEST(CooperativeSystemTest, SamplingModeWorks) {
+  Workload workload = std::move(MakeWorkload(SmallWorkload(2, 10))).ValueOrDie();
+  auto metric = MakeMetric(MetricKind::kValueDeviation);
+  CooperativeConfig config;
+  config.cache_bandwidth_avg = 20.0;
+  config.source.monitor = MonitorMode::kSampling;
+  config.source.sampling_interval = 5.0;
+  CooperativeScheduler scheduler(config);
+  auto result = RunScheduler(&workload, metric.get(), ShortRun(), &scheduler);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->scheduler.refreshes_delivered, 0);
+  EXPECT_LT(result->per_object_weighted, 5.0);
+}
+
+TEST(CooperativeSystemTest, PredictiveSamplingWorks) {
+  Workload workload = std::move(MakeWorkload(SmallWorkload(2, 10))).ValueOrDie();
+  auto metric = MakeMetric(MetricKind::kValueDeviation);
+  CooperativeConfig config;
+  config.cache_bandwidth_avg = 20.0;
+  config.source.monitor = MonitorMode::kSampling;
+  config.source.sampling_interval = 10.0;
+  config.source.predictive_sampling = true;
+  CooperativeScheduler scheduler(config);
+  auto result = RunScheduler(&workload, metric.get(), ShortRun(), &scheduler);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->scheduler.refreshes_delivered, 0);
+}
+
+TEST(CooperativeSystemTest, BoundPolicyRuns) {
+  Workload workload = std::move(MakeWorkload(SmallWorkload(2, 10))).ValueOrDie();
+  auto metric = MakeMetric(MetricKind::kValueDeviation);
+  CooperativeConfig config;
+  config.cache_bandwidth_avg = 10.0;
+  config.policy = PolicyKind::kBound;
+  CooperativeScheduler scheduler(config);
+  auto result = RunScheduler(&workload, metric.get(), ShortRun(), &scheduler);
+  ASSERT_TRUE(result.ok());
+  // Bound-based refreshing is update-oblivious but must still refresh.
+  EXPECT_GT(result->scheduler.refreshes_delivered, 100);
+}
+
+TEST(CooperativeSystemTest, FluctuatingEverythingStaysStable) {
+  WorkloadConfig wl = SmallWorkload(5, 20);
+  wl.weight_fluctuation_amplitude = 0.5;
+  Workload workload = std::move(MakeWorkload(wl)).ValueOrDie();
+  auto metric = MakeMetric(MetricKind::kLag);
+  CooperativeConfig config;
+  config.cache_bandwidth_avg = 10.0;
+  config.source_bandwidth_avg = 5.0;
+  config.bandwidth_change_rate = 0.25;
+  CooperativeScheduler scheduler(config);
+  auto result = RunScheduler(&workload, metric.get(), ShortRun(), &scheduler);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->scheduler.max_cache_queue, 500);
+  EXPECT_GT(result->scheduler.refreshes_delivered, 0);
+}
+
+TEST(CooperativeSystemTest, MeanThresholdPositive) {
+  Workload workload = std::move(MakeWorkload(SmallWorkload(3, 10))).ValueOrDie();
+  auto metric = MakeMetric(MetricKind::kValueDeviation);
+  CooperativeConfig config;
+  config.cache_bandwidth_avg = 10.0;
+  CooperativeScheduler scheduler(config);
+  auto result = RunScheduler(&workload, metric.get(), ShortRun(), &scheduler);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->scheduler.mean_threshold, 0.0);
+}
+
+TEST(HarnessTest, RunTwiceFails) {
+  Workload workload = std::move(MakeWorkload(SmallWorkload(1, 2))).ValueOrDie();
+  auto metric = MakeMetric(MetricKind::kStaleness);
+  HarnessConfig config;
+  config.warmup = 0.0;
+  config.measure = 10.0;
+  Harness harness(&workload, metric.get(), config);
+  CooperativeConfig coop;
+  CooperativeScheduler scheduler(coop);
+  ASSERT_TRUE(harness.Run(&scheduler).ok());
+  CooperativeScheduler scheduler2(coop);
+  EXPECT_TRUE(harness.Run(&scheduler2).IsFailedPrecondition());
+}
+
+TEST(HarnessTest, UpdateStreamsIdenticalAcrossSchedulers) {
+  // The per-object RNG seeds make update streams independent of scheduler
+  // decisions: final versions must match exactly across two different
+  // schedulers on regenerated workloads.
+  auto metric = MakeMetric(MetricKind::kStaleness);
+  HarnessConfig config;
+  config.warmup = 0.0;
+  config.measure = 100.0;
+
+  std::vector<int64_t> versions_a;
+  {
+    Workload workload = std::move(MakeWorkload(SmallWorkload(2, 5))).ValueOrDie();
+    Harness harness(&workload, metric.get(), config);
+    CooperativeConfig coop;
+    coop.cache_bandwidth_avg = 3.0;
+    CooperativeScheduler scheduler(coop);
+    ASSERT_TRUE(harness.Run(&scheduler).ok());
+    for (auto& object : harness.objects()) versions_a.push_back(object.state.version);
+  }
+  std::vector<int64_t> versions_b;
+  {
+    Workload workload = std::move(MakeWorkload(SmallWorkload(2, 5))).ValueOrDie();
+    Harness harness(&workload, metric.get(), config);
+    IdealConfig ideal;
+    ideal.cache_bandwidth_avg = 100.0;
+    IdealCooperativeScheduler scheduler(ideal);
+    ASSERT_TRUE(harness.Run(&scheduler).ok());
+    for (auto& object : harness.objects()) versions_b.push_back(object.state.version);
+  }
+  EXPECT_EQ(versions_a, versions_b);
+}
+
+}  // namespace
+}  // namespace besync
