@@ -76,7 +76,7 @@ Outcome RunPolicy(PolicyKind policy) {
   outcome.worst_bound = 0.0;
   const double end = harness.now();
   for (const ObjectRuntime& object : harness.objects()) {
-    const double age = end - object.tracker.last_refresh_time();
+    const double age = end - object.tracker().last_refresh_time();
     const double bound = object.spec->max_divergence_rate * age;
     if (bound > outcome.worst_bound) outcome.worst_bound = bound;
   }

@@ -18,6 +18,9 @@ void CGMScheduler::Initialize(Harness* harness) {
   harness_ = harness;
   tick_length_ = harness->config().tick_length;
   const Workload& workload = harness->workload();
+  BESYNC_CHECK_EQ(workload.num_caches, 1)
+      << "the CGM polling baselines model the paper's single-cache topology; "
+         "their poll responses target cache 0 only";
   Rng* rng = harness->scheduler_rng();
 
   cache_link_ = std::make_unique<Link>(

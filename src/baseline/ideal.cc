@@ -51,7 +51,7 @@ void IdealCooperativeScheduler::Initialize(Harness* harness) {
 double IdealCooperativeScheduler::ComputePriority(ObjectIndex index, double now) const {
   const ObjectRuntime& object = harness_->object(index);
   PriorityContext context;
-  context.tracker = &object.tracker;
+  context.tracker = &object.tracker();
   context.weight = harness_->WeightAt(index, now);
   if (config_.cost_aware_priority && object.spec->refresh_cost > 1) {
     context.weight /= static_cast<double>(object.spec->refresh_cost);
@@ -60,7 +60,8 @@ double IdealCooperativeScheduler::ComputePriority(ObjectIndex index, double now)
   context.history_rate = history_[index].rate();
   context.lambda_estimate = EstimateLambda(
       config_.lambda_mode, object.spec->lambda, object.state.version, now,
-      object.tracker.updates_since_refresh(), now - object.tracker.last_refresh_time());
+      object.tracker().updates_since_refresh(),
+      now - object.tracker().last_refresh_time());
   return policy_->Priority(context, now);
 }
 
@@ -123,7 +124,7 @@ void IdealCooperativeScheduler::Tick(double t) {
     source_budget_[j] -= cost;
     budget -= cost;
     {
-      const DivergenceTracker& tracker = harness_->object(top.index).tracker;
+      const DivergenceTracker& tracker = harness_->object(top.index).tracker();
       history_[top.index].OnRefresh(t - tracker.last_refresh_time(),
                                     tracker.IntegralTo(t));
     }

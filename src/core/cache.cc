@@ -1,26 +1,60 @@
 #include "core/cache.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace besync {
 
-CacheAgent::CacheAgent(int num_sources) {
+CacheAgent::CacheAgent(int32_t cache_id, std::vector<int32_t> sources)
+    : cache_id_(cache_id), source_ids_(std::move(sources)) {
+  BESYNC_CHECK_GE(cache_id, 0);
+  BESYNC_CHECK(!source_ids_.empty());
+  int32_t max_id = -1;
+  for (size_t k = 0; k < source_ids_.size(); ++k) {
+    BESYNC_CHECK_GE(source_ids_[k], 0);
+    if (k > 0) BESYNC_CHECK_GT(source_ids_[k], source_ids_[k - 1]);
+    max_id = source_ids_[k];
+  }
+  slot_of_source_.assign(static_cast<size_t>(max_id) + 1, -1);
+  for (size_t k = 0; k < source_ids_.size(); ++k) {
+    slot_of_source_[source_ids_[k]] = static_cast<int32_t>(k);
+  }
+  sources_.resize(source_ids_.size());
+  scratch_.resize(source_ids_.size());
+  for (size_t k = 0; k < source_ids_.size(); ++k) scratch_[k] = static_cast<int>(k);
+}
+
+namespace {
+std::vector<int32_t> AllSources(int num_sources) {
+  std::vector<int32_t> ids(static_cast<size_t>(num_sources));
+  for (int j = 0; j < num_sources; ++j) ids[j] = j;
+  return ids;
+}
+}  // namespace
+
+CacheAgent::CacheAgent(int num_sources)
+    : CacheAgent(/*cache_id=*/0, AllSources(num_sources)) {
   BESYNC_CHECK_GE(num_sources, 1);
-  sources_.resize(num_sources);
-  scratch_.resize(num_sources);
-  for (int j = 0; j < num_sources; ++j) scratch_[j] = j;
+}
+
+int CacheAgent::SlotOf(int32_t source_id) const {
+  BESYNC_DCHECK(source_id >= 0 &&
+                source_id < static_cast<int32_t>(slot_of_source_.size()));
+  const int slot = slot_of_source_[source_id];
+  BESYNC_DCHECK(slot >= 0) << "source " << source_id
+                           << " does not cooperate with cache " << cache_id_;
+  return slot;
 }
 
 void CacheAgent::RecordRefresh(const Message& message, double /*t*/) {
   // A batched message counts one refresh per carried object.
   refreshes_received_ += 1 + static_cast<int64_t>(message.extra_refreshes.size());
-  const int j = message.source_index;
-  BESYNC_DCHECK(j >= 0 && j < static_cast<int>(sources_.size()));
+  const int slot = SlotOf(message.source_index);
   if (message.piggyback_threshold > 0.0) {
-    sources_[j].threshold = message.piggyback_threshold;
-    sources_[j].known = true;
+    sources_[slot].threshold = message.piggyback_threshold;
+    sources_[slot].known = true;
   }
 }
 
@@ -39,10 +73,13 @@ std::vector<int> CacheAgent::SelectFeedbackTargets(int64_t limit, double now) {
     std::nth_element(scratch_.begin(), scratch_.begin() + take, scratch_.end(), better);
     std::sort(scratch_.begin(), scratch_.begin() + take, better);
   }
-  std::vector<int> targets(scratch_.begin(), scratch_.begin() + take);
-  for (int j : targets) {
-    sources_[j].last_fed = now;
+  std::vector<int> targets;
+  targets.reserve(static_cast<size_t>(take));
+  for (int64_t k = 0; k < take; ++k) {
+    const int slot = scratch_[k];
+    sources_[slot].last_fed = now;
     ++feedback_sent_;
+    targets.push_back(source_ids_[slot]);
   }
   return targets;
 }

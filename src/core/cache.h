@@ -9,13 +9,23 @@
 
 namespace besync {
 
-/// The cache's role in the cooperative protocol (Section 5): learn source
-/// thresholds from piggybacked refresh messages, monitor cache-side
-/// bandwidth utilization, and spend any surplus on positive feedback
-/// messages, targeting the sources with the highest local thresholds first.
+/// One cache's role in the cooperative protocol (Section 5): learn the
+/// thresholds of its interested sources from piggybacked refresh messages,
+/// monitor cache-side bandwidth utilization, and spend any surplus on
+/// positive feedback messages, targeting the sources with the highest local
+/// thresholds first. In the multi-cache topology every cache runs one
+/// independent CacheAgent over the sources that replicate objects at it.
 class CacheAgent {
  public:
+  /// Cache `cache_id` cooperating with the given ascending list of source
+  /// ids (the sources with at least one object replicated at this cache).
+  CacheAgent(int32_t cache_id, std::vector<int32_t> sources);
+
+  /// Single-cache convenience: cache 0 over all sources 0..num_sources-1.
   explicit CacheAgent(int num_sources);
+
+  int32_t cache_id() const { return cache_id_; }
+  int num_sources() const { return static_cast<int>(source_ids_.size()); }
 
   /// Records a delivered refresh message (learns the piggybacked threshold).
   void RecordRefresh(const Message& message, double t);
@@ -24,11 +34,13 @@ class CacheAgent {
   /// known thresholds first ("the sources with the highest local thresholds
   /// are selected to receive feedback"); sources whose thresholds are still
   /// unknown sort first so they are bootstrapped quickly; ties go to the
-  /// least recently fed source. Marks the selected sources as fed at `now`.
+  /// least recently fed source. Marks the selected sources as fed at `now`
+  /// and returns their source ids.
   std::vector<int> SelectFeedbackTargets(int64_t limit, double now);
 
-  /// Last threshold piggybacked by source `j`, or +infinity if none seen.
-  double known_threshold(int j) const { return sources_[j].threshold; }
+  /// Last threshold piggybacked by source `j` (a source id), or +infinity
+  /// if none seen.
+  double known_threshold(int j) const { return sources_[SlotOf(j)].threshold; }
 
   int64_t refreshes_received() const { return refreshes_received_; }
   int64_t feedback_sent() const { return feedback_sent_; }
@@ -41,8 +53,16 @@ class CacheAgent {
     double last_fed = -std::numeric_limits<double>::infinity();
   };
 
+  int SlotOf(int32_t source_id) const;
+
+  int32_t cache_id_ = 0;
+  /// Ascending source ids this cache cooperates with; slot k holds state for
+  /// source_ids_[k].
+  std::vector<int32_t> source_ids_;
+  /// source id -> slot (-1 for uninterested sources).
+  std::vector<int32_t> slot_of_source_;
   std::vector<SourceInfo> sources_;
-  std::vector<int> scratch_;  // reused index buffer for selection
+  std::vector<int> scratch_;  // reused slot buffer for selection
   int64_t refreshes_received_ = 0;
   int64_t feedback_sent_ = 0;
 };

@@ -32,6 +32,9 @@ std::string CompetitiveScheduler::name() const {
 
 void CompetitiveScheduler::Initialize(Harness* harness) {
   CooperativeScheduler::Initialize(harness);
+  BESYNC_CHECK_EQ(num_caches(), 1)
+      << "the competitive protocol (Section 7) is defined for the paper's "
+         "single-cache topology; multi-cache rate partitioning is future work";
   const int m = num_sources();
   granted_rate_.assign(m, 0.0);
   credit_.assign(m, 0.0);

@@ -41,35 +41,46 @@ double Harness::SourceWeightAt(ObjectIndex index, double t) const {
   return spec.source_weight ? spec.source_weight->ValueAt(t) : spec.weight->ValueAt(t);
 }
 
-Message Harness::MakeRefreshMessage(ObjectIndex index, double t) {
+Message Harness::MakeRefreshMessage(ObjectIndex index, int32_t cache_id, double t) {
   ObjectRuntime& object = objects_[index];
+  const int slot = object.spec->replica_slot(cache_id);
+  BESYNC_CHECK_GE(slot, 0) << "object " << index << " has no replica at cache "
+                           << cache_id;
   Message message;
   message.kind = MessageKind::kRefresh;
   message.source_index = object.spec->source_index;
+  message.cache_id = cache_id;
   message.object_index = index;
   message.value = object.state.value;
   message.version = object.state.version;
   message.send_time = t;
   message.last_update_time = object.state.last_update_time;
   message.cost = object.spec->refresh_cost;
-  object.tracker.OnRefresh(t, object.state.value, object.state.version);
+  object.tracker(slot).OnRefresh(t, object.state.value, object.state.version);
   return message;
+}
+
+Message Harness::MakeRefreshMessage(ObjectIndex index, double t) {
+  return MakeRefreshMessage(index, objects_[index].spec->caches.front(), t);
 }
 
 void Harness::DeliverRefresh(const Message& message, double t) {
   BESYNC_DCHECK(message.object_index >= 0);
   for (GroundTruth* ground_truth : ground_truths_) {
-    ground_truth->OnCacheApply(message.object_index, t, message.value, message.version);
+    ground_truth->OnCacheApply(message.object_index, message.cache_id, t,
+                               message.value, message.version);
     for (const RefreshPayload& payload : message.extra_refreshes) {
-      ground_truth->OnCacheApply(payload.object_index, t, payload.value,
-                                 payload.version);
+      ground_truth->OnCacheApply(payload.object_index, message.cache_id, t,
+                                 payload.value, payload.version);
     }
   }
 }
 
 void Harness::RefreshInstant(ObjectIndex index, double t) {
-  const Message message = MakeRefreshMessage(index, t);
-  DeliverRefresh(message, t);
+  for (int32_t cache_id : objects_[index].spec->caches) {
+    const Message message = MakeRefreshMessage(index, cache_id, t);
+    DeliverRefresh(message, t);
+  }
 }
 
 void Harness::OnUpdateEvent(ObjectIndex index, double t) {
@@ -77,7 +88,9 @@ void Harness::OnUpdateEvent(ObjectIndex index, double t) {
   object.state.value = object.spec->process->ApplyUpdate(object.state.value, &object.rng);
   ++object.state.version;
   object.state.last_update_time = t;
-  object.tracker.OnUpdate(t, object.state.value, object.state.version);
+  for (DivergenceTracker& tracker : object.trackers) {
+    tracker.OnUpdate(t, object.state.value, object.state.version);
+  }
   for (GroundTruth* ground_truth : ground_truths_) {
     ground_truth->OnSourceUpdate(index, t, object.state.value, object.state.version);
   }
@@ -104,7 +117,9 @@ Status Harness::Run(Scheduler* scheduler) {
     object.state.value = object.spec->initial_value;
     object.state.version = 0;
     object.state.last_update_time = -1.0;
-    object.tracker.OnRefresh(0.0, object.state.value, 0);
+    for (DivergenceTracker& tracker : object.trackers) {
+      tracker.OnRefresh(0.0, object.state.value, 0);
+    }
   }
   for (GroundTruth* ground_truth : ground_truths_) ground_truth->Initialize(0.0);
   for (size_t i = 0; i < objects_.size(); ++i) {

@@ -43,13 +43,21 @@ struct HarnessConfig {
 struct ObjectRuntime {
   const ObjectSpec* spec = nullptr;
   ObjectState state;
-  /// Source-side divergence bookkeeping (vs. the value last shipped).
-  DivergenceTracker tracker;
+  /// Source-side divergence bookkeeping, one tracker per replica (vs. the
+  /// value last shipped to that cache), aligned with spec->caches.
+  std::vector<DivergenceTracker> trackers;
   /// Private RNG stream driving this object's updates.
   Rng rng;
 
   ObjectRuntime(const ObjectSpec* s, const DivergenceMetric* metric)
-      : spec(s), tracker(metric), rng(s->rng_seed) {}
+      : spec(s), trackers(static_cast<size_t>(s->num_replicas()),
+                          DivergenceTracker(metric)),
+        rng(s->rng_seed) {}
+
+  /// Tracker of replica slot `r` (slot 0 is the only replica in the paper's
+  /// single-cache topology).
+  DivergenceTracker& tracker(int r = 0) { return trackers[r]; }
+  const DivergenceTracker& tracker(int r = 0) const { return trackers[r]; }
 };
 
 /// Statistics a scheduler reports after a run (fields irrelevant to a given
@@ -129,18 +137,23 @@ class Harness {
 
   // --- refresh plumbing ---
 
-  /// Source-side send: builds the refresh message carrying the object's
-  /// current value/version and resets the source-side tracker (the source
-  /// now models the cache as holding this value). The message still has to
-  /// be delivered via DeliverRefresh (or dropped, if a scheduler models
-  /// loss).
+  /// Source-side send targeting one cache: builds the refresh message
+  /// carrying the object's current value/version and resets that replica's
+  /// source-side tracker (the source now models cache `cache_id` as holding
+  /// this value). The message still has to be delivered via DeliverRefresh
+  /// (or dropped, if a scheduler models loss).
+  Message MakeRefreshMessage(ObjectIndex index, int32_t cache_id, double t);
+
+  /// Single-cache convenience: targets the object's first replica.
   Message MakeRefreshMessage(ObjectIndex index, double t);
 
-  /// Cache-side apply of a delivered refresh message.
+  /// Cache-side apply of a delivered refresh message (routed to the
+  /// message's cache_id).
   void DeliverRefresh(const Message& message, double t);
 
-  /// Oracle path: instantaneous refresh (source send + cache apply with no
-  /// network in between), used by the idealized schedulers.
+  /// Oracle path: instantaneous refresh of every replica of the object
+  /// (source send + cache apply with no network in between), used by the
+  /// idealized schedulers.
   void RefreshInstant(ObjectIndex index, double t);
 
  private:

@@ -15,9 +15,10 @@ SourceAgent::SourceAgent(int index, const SourceAgentConfig& config,
       config_(config),
       policy_(policy),
       harness_(harness),
-      controller_(config.threshold, expected_feedback_period, /*start_time=*/0.0) {
+      expected_feedback_period_(expected_feedback_period) {
   BESYNC_CHECK(policy != nullptr);
   BESYNC_CHECK(harness != nullptr);
+  BESYNC_CHECK_GT(expected_feedback_period, 0.0);
 }
 
 void SourceAgent::AddObject(ObjectIndex index) {
@@ -28,28 +29,74 @@ void SourceAgent::AddObject(ObjectIndex index) {
         << "source objects must be contiguous";
   }
   members_.push_back(index);
-  locals_.emplace_back();
 }
 
-SourceAgent::LocalState& SourceAgent::local(ObjectIndex index) {
+void SourceAgent::SetFeedbackPeriods(std::vector<double> periods_by_cache) {
+  BESYNC_CHECK(channels_.empty()) << "SetFeedbackPeriods must precede Start";
+  feedback_periods_by_cache_ = std::move(periods_by_cache);
+}
+
+void SourceAgent::BuildChannels() {
+  channels_.clear();
+  // Distinct cache ids across this source's objects, ascending. Per-object
+  // cache lists are sorted, so a flat collect + sort + unique suffices.
+  std::vector<int32_t> cache_ids;
+  for (ObjectIndex index : members_) {
+    const ObjectSpec& spec = *harness_->object(index).spec;
+    cache_ids.insert(cache_ids.end(), spec.caches.begin(), spec.caches.end());
+  }
+  std::sort(cache_ids.begin(), cache_ids.end());
+  cache_ids.erase(std::unique(cache_ids.begin(), cache_ids.end()), cache_ids.end());
+  BESYNC_CHECK(!cache_ids.empty()) << "source " << index_ << " has no objects";
+
+  channels_.reserve(cache_ids.size());
+  for (int32_t cache_id : cache_ids) {
+    double period = expected_feedback_period_;
+    if (cache_id < static_cast<int32_t>(feedback_periods_by_cache_.size()) &&
+        feedback_periods_by_cache_[cache_id] > 0.0) {
+      period = feedback_periods_by_cache_[cache_id];
+    }
+    Channel channel(cache_id, config_.threshold, period);
+    channel.slot_of.assign(members_.size(), -1);
+    for (size_t k = 0; k < members_.size(); ++k) {
+      const ObjectIndex index = members_[k];
+      const int replica = harness_->object(index).spec->replica_slot(cache_id);
+      if (replica < 0) continue;
+      channel.slot_of[k] = static_cast<int32_t>(channel.members.size());
+      channel.members.push_back(index);
+      channel.replica_slots.push_back(replica);
+      channel.locals.emplace_back();
+    }
+    channels_.push_back(std::move(channel));
+  }
+}
+
+int SourceAgent::ChannelSlot(const Channel& channel, ObjectIndex index) const {
   BESYNC_DCHECK(index >= first_member_);
   BESYNC_DCHECK(index < first_member_ + static_cast<ObjectIndex>(members_.size()));
-  return locals_[index - first_member_];
+  const int32_t slot = channel.slot_of[index - first_member_];
+  BESYNC_DCHECK(slot >= 0) << "object " << index << " not replicated at cache "
+                           << channel.cache_id;
+  return slot;
 }
 
-const SourceAgent::LocalState& SourceAgent::local(ObjectIndex index) const {
-  return locals_[index - first_member_];
+SourceAgent::LocalState& SourceAgent::local(Channel* channel, ObjectIndex index) {
+  return channel->locals[ChannelSlot(*channel, index)];
 }
 
-EpochFn SourceAgent::MakeEpochFn() const {
-  return [this](ObjectIndex index) { return CurrentEpoch(index); };
+EpochFn SourceAgent::MakeEpochFn(const Channel* channel) const {
+  return [this, channel](ObjectIndex index) {
+    return channel->locals[ChannelSlot(*channel, index)].epoch;
+  };
 }
 
-PriorityContext SourceAgent::MakeContext(ObjectIndex index, double now,
-                                         bool use_source_weight) const {
+PriorityContext SourceAgent::MakeContext(const Channel& channel, ObjectIndex index,
+                                         double now, bool use_source_weight) const {
+  const int slot = ChannelSlot(channel, index);
   const ObjectRuntime& object = harness_->object(index);
+  const DivergenceTracker& tracker = object.tracker(channel.replica_slots[slot]);
   PriorityContext context;
-  context.tracker = &object.tracker;
+  context.tracker = &tracker;
   context.weight = use_source_weight ? harness_->SourceWeightAt(index, now)
                                      : harness_->WeightAt(index, now);
   if (config_.cost_aware_priority && object.spec->refresh_cost > 1) {
@@ -57,213 +104,274 @@ PriorityContext SourceAgent::MakeContext(ObjectIndex index, double now,
     context.weight /= static_cast<double>(object.spec->refresh_cost);
   }
   context.max_divergence_rate = object.spec->max_divergence_rate;
-  context.history_rate = local(index).history.rate();
+  context.history_rate = channel.locals[slot].history.rate();
   context.lambda_estimate = EstimateLambda(
       config_.lambda_mode, object.spec->lambda, object.state.version, now,
-      object.tracker.updates_since_refresh(), now - object.tracker.last_refresh_time());
+      tracker.updates_since_refresh(), now - tracker.last_refresh_time());
   return context;
 }
 
+double SourceAgent::ChannelPriority(const Channel& channel, ObjectIndex index,
+                                    double now) const {
+  return policy_->Priority(MakeContext(channel, index, now, /*use_source_weight=*/false),
+                           now);
+}
+
+double SourceAgent::ChannelSourcePriority(const Channel& channel, ObjectIndex index,
+                                          double now) const {
+  return policy_->Priority(MakeContext(channel, index, now, /*use_source_weight=*/true),
+                           now);
+}
+
 double SourceAgent::ComputePriority(ObjectIndex index, double now) const {
-  return policy_->Priority(MakeContext(index, now, /*use_source_weight=*/false), now);
+  return ChannelPriority(channels_.front(), index, now);
 }
 
 double SourceAgent::ComputeSourcePriority(ObjectIndex index, double now) const {
-  return policy_->Priority(MakeContext(index, now, /*use_source_weight=*/true), now);
+  return ChannelSourcePriority(channels_.front(), index, now);
 }
 
 void SourceAgent::Start(Simulation* sim, double tick_length) {
   sim_ = sim;
   tick_length_ = tick_length;
+  BuildChannels();
   if (policy_->time_varying()) {
-    for (ObjectIndex index : members_) PushWake(index, 0.0);
+    for (Channel& channel : channels_) {
+      for (ObjectIndex index : channel.members) PushWake(&channel, index, 0.0);
+    }
   }
   if (config_.monitor == MonitorMode::kSampling) {
     Rng* rng = harness_->scheduler_rng();
-    for (ObjectIndex index : members_) {
-      // Stagger initial samples so sampling load is spread over time.
-      const double offset = rng->Uniform(0.0, config_.sampling_interval);
-      sim->ScheduleAt(offset, [this, index](double t) { OnSampleEvent(index, t, sim_); });
+    // Object-major so the single-cache draw sequence (one offset per object)
+    // is preserved; each replica gets its own staggered schedule.
+    for (size_t k = 0; k < members_.size(); ++k) {
+      const ObjectIndex index = members_[k];
+      for (int c = 0; c < num_channels(); ++c) {
+        if (channels_[c].slot_of[k] < 0) continue;
+        // Stagger initial samples so sampling load is spread over time.
+        const double offset = rng->Uniform(0.0, config_.sampling_interval);
+        sim->ScheduleAt(offset, [this, c, index](double t) {
+          OnSampleEvent(c, index, t, sim_);
+        });
+      }
     }
   }
 }
 
 void SourceAgent::OnObjectUpdate(ObjectIndex index, double t) {
   if (config_.monitor == MonitorMode::kSampling) return;  // source is blind
-  if (policy_->time_varying()) {
-    if (policy_->update_sensitive()) {
-      // The update may have moved the threshold crossing earlier; re-arm.
-      ++local(index).epoch;
-      PushWake(index, t);
+  for (Channel& channel : channels_) {
+    const int32_t slot = channel.slot_of[index - first_member_];
+    if (slot < 0) continue;
+    LocalState& state = channel.locals[slot];
+    if (policy_->time_varying()) {
+      if (policy_->update_sensitive()) {
+        // The update may have moved the threshold crossing earlier; re-arm.
+        ++state.epoch;
+        PushWake(&channel, index, t);
+      }
+      continue;
     }
-    return;
-  }
-  LocalState& state = local(index);
-  ++state.epoch;
-  queue_.Push(ComputePriority(index, t), index, state.epoch);
-  if (secondary_enabled_) {
-    secondary_queue_.Push(ComputeSourcePriority(index, t), index, state.epoch);
-  }
-  MaybeCompact();
-}
-
-void SourceAgent::MaybeCompact() {
-  const size_t trigger = 4 * members_.size() + 64;
-  if (queue_.size() > trigger) queue_.Compact(MakeEpochFn());
-  if (secondary_enabled_ && secondary_queue_.size() > trigger) {
-    secondary_queue_.Compact(MakeEpochFn());
+    ++state.epoch;
+    channel.queue.Push(ChannelPriority(channel, index, t), index, state.epoch);
+    if (secondary_enabled_) {
+      channel.secondary_queue.Push(ChannelSourcePriority(channel, index, t), index,
+                                   state.epoch);
+    }
+    MaybeCompact(&channel);
   }
 }
 
-void SourceAgent::OnSampleEvent(ObjectIndex index, double t, Simulation* sim) {
-  LocalState& state = local(index);
+void SourceAgent::MaybeCompact(Channel* channel) {
+  const size_t trigger = 4 * channel->members.size() + 64;
+  const EpochFn epoch_fn = MakeEpochFn(channel);
+  if (channel->queue.size() > trigger) channel->queue.Compact(epoch_fn);
+  if (secondary_enabled_ && channel->secondary_queue.size() > trigger) {
+    channel->secondary_queue.Compact(epoch_fn);
+  }
+}
+
+void SourceAgent::OnSampleEvent(int channel_index, ObjectIndex index, double t,
+                                Simulation* sim) {
+  Channel& channel = channels_[channel_index];
+  const int slot = ChannelSlot(channel, index);
+  LocalState& state = channel.locals[slot];
   // Direct measurement: the source compares its live value against the copy
-  // it last shipped — exactly what the exact tracker's current divergence is.
-  const double divergence = harness_->object(index).tracker.current_divergence();
+  // it last shipped to this cache — exactly what the exact tracker's current
+  // divergence is.
+  const double divergence =
+      harness_->object(index).tracker(channel.replica_slots[slot]).current_divergence();
   state.sampled.AddSample(t, divergence);
   ++state.epoch;
   const double weight = harness_->WeightAt(index, t);
-  queue_.Push(state.sampled.EstimatedPriority(t) * weight, index, state.epoch);
-  MaybeCompact();
-  ScheduleNextSample(index, t, sim);
+  channel.queue.Push(state.sampled.EstimatedPriority(t) * weight, index, state.epoch);
+  MaybeCompact(&channel);
+  ScheduleNextSample(channel_index, index, t, sim);
 }
 
-void SourceAgent::ScheduleNextSample(ObjectIndex index, double now, Simulation* sim) {
+void SourceAgent::ScheduleNextSample(int channel_index, ObjectIndex index, double now,
+                                     Simulation* sim) {
   double next = now + config_.sampling_interval;
   if (config_.predictive_sampling) {
-    const LocalState& state = local(index);
+    Channel& channel = channels_[channel_index];
+    const LocalState& state = channel.locals[ChannelSlot(channel, index)];
     const double weight = harness_->WeightAt(index, now);
     const double predicted =
-        state.sampled.PredictCrossTime(controller_.threshold(), weight, now);
+        state.sampled.PredictCrossTime(channel.controller.threshold(), weight, now);
     // Sample "somewhat before" the predicted crossing, but never more often
     // than the minimum gap and never later than the base interval.
     const double candidate = std::max(now + config_.min_sampling_gap, predicted * 0.95);
     next = std::min(next, candidate);
   }
-  sim->ScheduleAt(next, [this, index](double t) { OnSampleEvent(index, t, sim_); });
+  sim->ScheduleAt(next, [this, channel_index, index](double t) {
+    OnSampleEvent(channel_index, index, t, sim_);
+  });
 }
 
 void SourceAgent::OnFeedback(const Message& message, double t) {
-  controller_.OnFeedback(t, at_full_capacity_);
+  Channel* channel = nullptr;
+  for (Channel& candidate : channels_) {
+    if (candidate.cache_id == message.cache_id) {
+      channel = &candidate;
+      break;
+    }
+  }
+  BESYNC_CHECK(channel != nullptr)
+      << "feedback from cache " << message.cache_id << " reached source " << index_
+      << " which has no objects there";
+  channel->controller.OnFeedback(t, at_full_capacity_);
   if (message.granted_rate > 0.0) granted_rate_ = message.granted_rate;
   if (policy_->time_varying()) {
-    // The threshold may have dropped: re-arm wake-ups so crossings that are
-    // now earlier are not missed.
-    for (ObjectIndex index : members_) {
-      ++local(index).epoch;
-      PushWake(index, t);
+    // The threshold may have dropped: re-arm this channel's wake-ups so
+    // crossings that are now earlier are not missed.
+    for (ObjectIndex index : channel->members) {
+      ++local(channel, index).epoch;
+      PushWake(channel, index, t);
     }
   }
 }
 
-void SourceAgent::PushWake(ObjectIndex index, double now) {
-  const PriorityContext context = MakeContext(index, now, /*use_source_weight=*/false);
+void SourceAgent::PushWake(Channel* channel, ObjectIndex index, double now) {
+  const PriorityContext context =
+      MakeContext(*channel, index, now, /*use_source_weight=*/false);
   const double cross =
-      policy_->ThresholdCrossTime(context, controller_.threshold(), now);
+      policy_->ThresholdCrossTime(context, channel->controller.threshold(), now);
   if (!std::isfinite(cross)) return;
-  wake_queue_.Push(cross, index, local(index).epoch);
+  channel->wake_queue.Push(cross, index, local(channel, index).epoch);
 }
 
-void SourceAgent::EmitRefresh(ObjectIndex index, double now, Link* cache_link,
-                              bool bump_threshold) {
+void SourceAgent::EmitRefresh(Channel* channel, ObjectIndex index, double now,
+                              Link* cache_link, bool bump_threshold) {
+  const int slot = ChannelSlot(*channel, index);
+  LocalState& state = channel->locals[slot];
   // Record the finishing interval's realized divergence rate before the
   // tracker resets (feeds the history-extended policy).
   {
-    const DivergenceTracker& tracker = harness_->object(index).tracker;
-    local(index).history.OnRefresh(now - tracker.last_refresh_time(),
-                                   tracker.IntegralTo(now));
+    const DivergenceTracker& tracker =
+        harness_->object(index).tracker(channel->replica_slots[slot]);
+    state.history.OnRefresh(now - tracker.last_refresh_time(), tracker.IntegralTo(now));
   }
-  Message message = harness_->MakeRefreshMessage(index, now);
+  Message message = harness_->MakeRefreshMessage(index, channel->cache_id, now);
   if (config_.monitor == MonitorMode::kSampling) {
-    local(index).sampled.OnRefresh(now);
+    state.sampled.OnRefresh(now);
   }
-  if (bump_threshold) controller_.OnRefreshSent(now);
+  if (bump_threshold) channel->controller.OnRefreshSent(now);
   // Piggyback the current (post-increase) threshold: the freshest
   // information the cache can have about this source.
-  message.piggyback_threshold = controller_.threshold();
+  message.piggyback_threshold = channel->controller.threshold();
   cache_link->Enqueue(message);
-  ++local(index).epoch;
+  ++state.epoch;
   ++refreshes_sent_;
-  last_emit_time_ = now;
+  channel->last_emit_time = now;
 }
 
-void SourceAgent::EmitBatch(const std::vector<QueueEntry>& batch, double now,
-                            Link* cache_link) {
+void SourceAgent::EmitBatch(Channel* channel, const std::vector<QueueEntry>& batch,
+                            double now, Link* cache_link) {
   BESYNC_DCHECK(!batch.empty());
   Message message;
   for (size_t k = 0; k < batch.size(); ++k) {
     const ObjectIndex index = batch[k].index;
+    const int slot = ChannelSlot(*channel, index);
+    LocalState& state = channel->locals[slot];
     {
-      const DivergenceTracker& tracker = harness_->object(index).tracker;
-      local(index).history.OnRefresh(now - tracker.last_refresh_time(),
-                                     tracker.IntegralTo(now));
+      const DivergenceTracker& tracker =
+          harness_->object(index).tracker(channel->replica_slots[slot]);
+      state.history.OnRefresh(now - tracker.last_refresh_time(),
+                              tracker.IntegralTo(now));
     }
     if (config_.monitor == MonitorMode::kSampling) {
-      local(index).sampled.OnRefresh(now);
+      state.sampled.OnRefresh(now);
     }
     if (k == 0) {
-      message = harness_->MakeRefreshMessage(index, now);
+      message = harness_->MakeRefreshMessage(index, channel->cache_id, now);
     } else {
-      const Message part = harness_->MakeRefreshMessage(index, now);
+      const Message part = harness_->MakeRefreshMessage(index, channel->cache_id, now);
       message.extra_refreshes.push_back(
           RefreshPayload{part.object_index, part.value, part.version});
     }
-    ++local(index).epoch;
+    ++state.epoch;
     ++refreshes_sent_;
   }
   // The whole batch travels as one unit-cost message — the amortization.
   message.cost = 1;
-  controller_.OnRefreshSent(now);
-  message.piggyback_threshold = controller_.threshold();
+  channel->controller.OnRefreshSent(now);
+  message.piggyback_threshold = channel->controller.threshold();
   cache_link->Enqueue(message);
-  last_emit_time_ = now;
+  channel->last_emit_time = now;
 }
 
-int64_t SourceAgent::SendRefreshes(double now, Link* source_link, Link* cache_link) {
-  at_full_capacity_ = false;
+int64_t SourceAgent::SendRefreshes(double now, Link* source_link, Link* cache_link,
+                                   int channel_index) {
+  BESYNC_DCHECK(channel_index >= 0 && channel_index < num_channels());
+  Channel* channel = &channels_[channel_index];
+  // Channel 0 opens the source's send phase for this tick; the flag then
+  // accumulates across the remaining channels (they share the source link).
+  if (channel_index == 0) at_full_capacity_ = false;
   if (policy_->time_varying()) {
-    return SendRefreshesTimeVarying(now, source_link, cache_link);
+    return SendRefreshesTimeVarying(channel, now, source_link, cache_link);
   }
-  return SendRefreshesEventKeyed(now, source_link, cache_link);
+  return SendRefreshesEventKeyed(channel, now, source_link, cache_link);
 }
 
-int64_t SourceAgent::SendRefreshesEventKeyed(double now, Link* source_link,
-                                             Link* cache_link) {
-  if (config_.max_batch > 1) return SendRefreshesBatched(now, source_link, cache_link);
-  const EpochFn epoch_fn = MakeEpochFn();
+int64_t SourceAgent::SendRefreshesEventKeyed(Channel* channel, double now,
+                                             Link* source_link, Link* cache_link) {
+  if (config_.max_batch > 1) {
+    return SendRefreshesBatched(channel, now, source_link, cache_link);
+  }
+  const EpochFn epoch_fn = MakeEpochFn(channel);
   int64_t sent = 0;
   QueueEntry top;
-  while (queue_.PopValid(epoch_fn, &top)) {
-    if (top.key < controller_.threshold() || top.key <= 0.0) {
-      queue_.Restore(top);
+  while (channel->queue.PopValid(epoch_fn, &top)) {
+    if (top.key < channel->controller.threshold() || top.key <= 0.0) {
+      channel->queue.Restore(top);
       break;
     }
     // Large objects may start transmitting on the last sliver of budget and
     // spill into the next tick (deficit carryover at the link).
     const int64_t cost = harness_->object(top.index).spec->refresh_cost;
     if (!source_link->TryConsumeAllowingDeficit(cost)) {
-      queue_.Restore(top);
+      channel->queue.Restore(top);
       at_full_capacity_ = true;
       break;
     }
-    EmitRefresh(top.index, now, cache_link, /*bump_threshold=*/true);
+    EmitRefresh(channel, top.index, now, cache_link, /*bump_threshold=*/true);
     ++sent;
   }
   return sent;
 }
 
-int64_t SourceAgent::SendRefreshesBatched(double now, Link* source_link,
-                                          Link* cache_link) {
-  const EpochFn epoch_fn = MakeEpochFn();
+int64_t SourceAgent::SendRefreshesBatched(Channel* channel, double now,
+                                          Link* source_link, Link* cache_link) {
+  const EpochFn epoch_fn = MakeEpochFn(channel);
   int64_t messages = 0;
   while (true) {
     // Gather up to max_batch over-threshold objects.
     std::vector<QueueEntry> batch;
     QueueEntry top;
     while (static_cast<int>(batch.size()) < config_.max_batch &&
-           queue_.PopValid(epoch_fn, &top)) {
-      if (top.key < controller_.threshold() || top.key <= 0.0) {
-        queue_.Restore(top);
+           channel->queue.PopValid(epoch_fn, &top)) {
+      if (top.key < channel->controller.threshold() || top.key <= 0.0) {
+        channel->queue.Restore(top);
         break;
       }
       batch.push_back(top);
@@ -272,16 +380,16 @@ int64_t SourceAgent::SendRefreshesBatched(double now, Link* source_link,
     const bool full = static_cast<int>(batch.size()) == config_.max_batch;
     // Partial batches wait (delaying refreshes artificially, Section 10.1)
     // until the flush deadline expires.
-    if (!full && now - last_emit_time_ < config_.max_batch_delay) {
-      for (const QueueEntry& entry : batch) queue_.Restore(entry);
+    if (!full && now - channel->last_emit_time < config_.max_batch_delay) {
+      for (const QueueEntry& entry : batch) channel->queue.Restore(entry);
       break;
     }
     if (!source_link->TryConsumeAllowingDeficit(1)) {
-      for (const QueueEntry& entry : batch) queue_.Restore(entry);
+      for (const QueueEntry& entry : batch) channel->queue.Restore(entry);
       at_full_capacity_ = true;
       break;
     }
-    EmitBatch(batch, now, cache_link);
+    EmitBatch(channel, batch, now, cache_link);
     ++messages;
     if (!full) break;  // the queue is drained below the batch size
   }
@@ -289,36 +397,37 @@ int64_t SourceAgent::SendRefreshesBatched(double now, Link* source_link,
 }
 
 int64_t SourceAgent::SendSecondary(double now, int64_t max_count, Link* source_link,
-                                   Link* cache_link) {
+                                   Link* cache_link, int channel_index) {
   BESYNC_CHECK(secondary_enabled_);
-  const EpochFn epoch_fn = MakeEpochFn();
+  Channel* channel = &channels_[channel_index];
+  const EpochFn epoch_fn = MakeEpochFn(channel);
   int64_t sent = 0;
   QueueEntry top;
-  while (sent < max_count && secondary_queue_.PopValid(epoch_fn, &top)) {
+  while (sent < max_count && channel->secondary_queue.PopValid(epoch_fn, &top)) {
     if (top.key <= 0.0) {
-      secondary_queue_.Restore(top);
+      channel->secondary_queue.Restore(top);
       break;
     }
     const int64_t cost = harness_->object(top.index).spec->refresh_cost;
     if (!source_link->TryConsumeAllowingDeficit(cost)) {
-      secondary_queue_.Restore(top);
+      channel->secondary_queue.Restore(top);
       at_full_capacity_ = true;
       break;
     }
-    EmitRefresh(top.index, now, cache_link, /*bump_threshold=*/false);
+    EmitRefresh(channel, top.index, now, cache_link, /*bump_threshold=*/false);
     ++sent;
   }
   return sent;
 }
 
-int64_t SourceAgent::SendRefreshesTimeVarying(double now, Link* source_link,
-                                              Link* cache_link) {
-  const EpochFn epoch_fn = MakeEpochFn();
+int64_t SourceAgent::SendRefreshesTimeVarying(Channel* channel, double now,
+                                              Link* source_link, Link* cache_link) {
+  const EpochFn epoch_fn = MakeEpochFn(channel);
   // Collect all wake-ups that are due and compute their live priorities.
   std::vector<QueueEntry> due;
   QueueEntry entry;
-  while (wake_queue_.PopDue(now, epoch_fn, &entry)) {
-    entry.key = ComputePriority(entry.index, now);
+  while (channel->wake_queue.PopDue(now, epoch_fn, &entry)) {
+    entry.key = ChannelPriority(*channel, entry.index, now);
     due.push_back(entry);
   }
   std::sort(due.begin(), due.end(),
@@ -328,25 +437,25 @@ int64_t SourceAgent::SendRefreshesTimeVarying(double now, Link* source_link,
   for (size_t k = 0; k < due.size(); ++k) {
     const QueueEntry& candidate = due[k];
     const bool over_threshold =
-        candidate.key >= controller_.threshold() && candidate.key > 0.0;
+        candidate.key >= channel->controller.threshold() && candidate.key > 0.0;
     const int64_t cost = harness_->object(candidate.index).spec->refresh_cost;
     if (over_threshold && !at_full_capacity_ &&
         source_link->TryConsumeAllowingDeficit(cost)) {
-      EmitRefresh(candidate.index, now, cache_link, /*bump_threshold=*/true);
+      EmitRefresh(channel, candidate.index, now, cache_link, /*bump_threshold=*/true);
       ++sent;
-      PushWake(candidate.index, now);  // re-arm from the new t_last
+      PushWake(channel, candidate.index, now);  // re-arm from the new t_last
       continue;
     }
     if (over_threshold) at_full_capacity_ = true;
     // Not sent: re-check no earlier than the next tick, or at the newly
     // predicted crossing if that is later.
     const PriorityContext context =
-        MakeContext(candidate.index, now, /*use_source_weight=*/false);
+        MakeContext(*channel, candidate.index, now, /*use_source_weight=*/false);
     const double cross =
-        policy_->ThresholdCrossTime(context, controller_.threshold(), now);
+        policy_->ThresholdCrossTime(context, channel->controller.threshold(), now);
     if (!std::isfinite(cross)) continue;
-    wake_queue_.Push(std::max(cross, now + tick_length_), candidate.index,
-                     candidate.epoch);
+    channel->wake_queue.Push(std::max(cross, now + tick_length_), candidate.index,
+                             candidate.epoch);
   }
   return sent;
 }

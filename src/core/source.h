@@ -47,24 +47,37 @@ struct SourceAgentConfig {
   /// Batching requires unit refresh costs.
   int max_batch = 1;
   /// A partial batch is flushed once the oldest eligible refresh has waited
-  /// this long since the source's previous emission.
+  /// this long since the source's previous emission to the same cache.
   double max_batch_delay = 5.0;
 };
 
 /// One cooperating data source S_j: monitors the refresh priorities of its
-/// local objects, maintains a local refresh threshold T_j, and whenever it
-/// has source-side bandwidth available refreshes its highest-priority
-/// objects whose priority exceeds T_j (Section 5).
+/// local objects and, for every cache c that replicates any of them,
+/// maintains an independent local refresh threshold T_{j,c} with its own
+/// priority queue over the objects replicated at c (the paper's Section 5
+/// protocol is the one-cache special case T_j = T_{j,0}). Whenever it has
+/// source-side bandwidth available it refreshes, per cache, its
+/// highest-priority objects whose priority exceeds that cache's threshold.
+/// Feedback from cache c adjusts T_{j,c} only.
 class SourceAgent {
  public:
   /// `policy` and `harness` must outlive the agent.
+  /// `expected_feedback_period` is the fallback P_feedback used for every
+  /// cache channel not covered by SetFeedbackPeriods().
   SourceAgent(int index, const SourceAgentConfig& config,
               double expected_feedback_period, const PriorityPolicy* policy,
               Harness* harness);
 
   int index() const { return index_; }
-  double threshold() const { return controller_.threshold(); }
-  ThresholdController& controller() { return controller_; }
+  /// Number of cache channels (caches replicating >= 1 of this source's
+  /// objects). Valid after Start().
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+  /// Cache id of channel `k` (channels are in ascending cache-id order).
+  int32_t channel_cache_id(int k) const { return channels_[k].cache_id; }
+  /// Local threshold T_{j,c} of channel `k` (channel 0 is the only channel
+  /// in the paper's single-cache topology).
+  double threshold(int k = 0) const { return channels_[k].controller.threshold(); }
+  ThresholdController& controller(int k = 0) { return channels_[k].controller; }
   bool at_full_capacity() const { return at_full_capacity_; }
   int64_t refreshes_sent() const { return refreshes_sent_; }
   double granted_rate() const { return granted_rate_; }
@@ -74,24 +87,34 @@ class SourceAgent {
   /// form a contiguous index range (as produced by the workload generators).
   void AddObject(ObjectIndex index);
 
-  /// Run-start hook: seeds the monitoring machinery (initial wake-ups for
+  /// Per-cache expected feedback periods, indexed by cache id (e.g. number
+  /// of sources interested in cache c divided by B_c). Call before Start();
+  /// caches beyond the vector fall back to the constructor scalar.
+  void SetFeedbackPeriods(std::vector<double> periods_by_cache);
+
+  /// Run-start hook: builds the per-cache channels from the workload's
+  /// interest map and seeds the monitoring machinery (initial wake-ups for
   /// time-varying policies, sampling schedules).
   void Start(Simulation* sim, double tick_length);
 
   /// Trigger-mode notification that object `index` was updated at time `t`.
   void OnObjectUpdate(ObjectIndex index, double t);
 
-  /// Handles a positive feedback message received at time `t`.
+  /// Handles a positive feedback message received at time `t`; the
+  /// message's cache_id selects which threshold T_{j,c} is adjusted.
   void OnFeedback(const Message& message, double t);
 
-  /// Tick send phase: emits refresh messages into `cache_link` while the
+  /// Tick send phase for channel `channel`: emits refresh messages into
+  /// `cache_link` (the link of that channel's cache) while the shared
   /// source-side budget allows and over-threshold objects remain. Returns
-  /// the number of messages sent.
-  int64_t SendRefreshes(double now, Link* source_link, Link* cache_link);
+  /// the number of messages sent. A call for channel 0 starts the source's
+  /// tick: it clears the full-capacity flag.
+  int64_t SendRefreshes(double now, Link* source_link, Link* cache_link,
+                        int channel = 0);
 
-  /// Enables the secondary, source-objective priority queue used by the
+  /// Enables the secondary, source-objective priority queues used by the
   /// competitive protocol (Section 7): updates are additionally prioritized
-  /// under the source's own weighting scheme. Call before Start().
+  /// under the source's own weighting scheme.
   void EnableSecondaryQueue() { secondary_enabled_ = true; }
 
   /// Sends up to `max_count` refreshes picked by the *source's own* priority
@@ -99,12 +122,13 @@ class SourceAgent {
   /// cache granted the source for its own objectives). Does not bump the
   /// threshold controller. Returns the number sent.
   int64_t SendSecondary(double now, int64_t max_count, Link* source_link,
-                        Link* cache_link);
+                        Link* cache_link, int channel = 0);
 
   /// Resets statistics counters (measurement start).
   void ResetCounters() { refreshes_sent_ = 0; }
 
-  /// Current weighted priority of an object under this agent's policy.
+  /// Current weighted priority of an object under this agent's policy, as
+  /// seen by channel 0 (exact for single-cache topologies).
   double ComputePriority(ObjectIndex index, double now) const;
 
   /// Priority under the source's own weighting scheme (Section 7).
@@ -117,48 +141,76 @@ class SourceAgent {
     HistoryRateEstimator history;
   };
 
-  LocalState& local(ObjectIndex index);
-  const LocalState& local(ObjectIndex index) const;
-  uint64_t CurrentEpoch(ObjectIndex index) const { return local(index).epoch; }
-  EpochFn MakeEpochFn() const;
-  PriorityContext MakeContext(ObjectIndex index, double now,
-                              bool use_source_weight) const;
+  /// Per-cache protocol state: threshold controller T_{j,c}, the priority
+  /// queues over the objects replicated at the cache, and the per-replica
+  /// monitoring state.
+  struct Channel {
+    Channel(int32_t cache, const ThresholdConfig& config, double feedback_period)
+        : cache_id(cache), controller(config, feedback_period, /*start_time=*/0.0) {}
 
-  void OnSampleEvent(ObjectIndex index, double t, Simulation* sim);
-  void ScheduleNextSample(ObjectIndex index, double now, Simulation* sim);
-  /// Sends one refresh for `index` (budget already secured). Threshold
-  /// bumping applies only to refreshes governed by the threshold protocol.
-  void EmitRefresh(ObjectIndex index, double now, Link* cache_link,
+    int32_t cache_id;
+    ThresholdController controller;
+    /// Objects replicated at this cache (ascending global indices).
+    std::vector<ObjectIndex> members;
+    /// Source-local object offset -> channel slot, -1 if not replicated.
+    std::vector<int32_t> slot_of;
+    /// Replica slot of each channel member at this cache (tracker index).
+    std::vector<int32_t> replica_slots;
+    std::vector<LocalState> locals;
+    /// Event-keyed queue: priority recomputed on updates (or samples).
+    LazyMaxHeap queue;
+    /// Competitive mode: the same objects keyed by the source's own priority.
+    LazyMaxHeap secondary_queue;
+    /// Time-varying policies: wake-ups at predicted threshold crossings.
+    TimeMinHeap wake_queue;
+    double last_emit_time = 0.0;
+  };
+
+  void BuildChannels();
+  int ChannelSlot(const Channel& channel, ObjectIndex index) const;
+  LocalState& local(Channel* channel, ObjectIndex index);
+  EpochFn MakeEpochFn(const Channel* channel) const;
+  PriorityContext MakeContext(const Channel& channel, ObjectIndex index, double now,
+                              bool use_source_weight) const;
+  double ChannelPriority(const Channel& channel, ObjectIndex index, double now) const;
+  double ChannelSourcePriority(const Channel& channel, ObjectIndex index,
+                               double now) const;
+
+  void OnSampleEvent(int channel_index, ObjectIndex index, double t, Simulation* sim);
+  void ScheduleNextSample(int channel_index, ObjectIndex index, double now,
+                          Simulation* sim);
+  /// Sends one refresh for `index` to `channel`'s cache (budget already
+  /// secured). Threshold bumping applies only to refreshes governed by the
+  /// threshold protocol.
+  void EmitRefresh(Channel* channel, ObjectIndex index, double now, Link* cache_link,
                    bool bump_threshold);
   /// Sends one batched message covering all of `batch` (unit cost).
-  void EmitBatch(const std::vector<QueueEntry>& batch, double now, Link* cache_link);
+  void EmitBatch(Channel* channel, const std::vector<QueueEntry>& batch, double now,
+                 Link* cache_link);
   /// Re-arms the wake-up entry of `index` (time-varying policies).
-  void PushWake(ObjectIndex index, double now);
-  int64_t SendRefreshesEventKeyed(double now, Link* source_link, Link* cache_link);
-  int64_t SendRefreshesBatched(double now, Link* source_link, Link* cache_link);
-  int64_t SendRefreshesTimeVarying(double now, Link* source_link, Link* cache_link);
-  void MaybeCompact();
+  void PushWake(Channel* channel, ObjectIndex index, double now);
+  int64_t SendRefreshesEventKeyed(Channel* channel, double now, Link* source_link,
+                                  Link* cache_link);
+  int64_t SendRefreshesBatched(Channel* channel, double now, Link* source_link,
+                               Link* cache_link);
+  int64_t SendRefreshesTimeVarying(Channel* channel, double now, Link* source_link,
+                                   Link* cache_link);
+  void MaybeCompact(Channel* channel);
 
   int index_;
   SourceAgentConfig config_;
   const PriorityPolicy* policy_;
   Harness* harness_;
-  ThresholdController controller_;
+  double expected_feedback_period_;
+  std::vector<double> feedback_periods_by_cache_;
   std::vector<ObjectIndex> members_;
   ObjectIndex first_member_ = -1;
-  std::vector<LocalState> locals_;
-  /// Event-keyed queue: priority recomputed on updates (or samples).
-  LazyMaxHeap queue_;
-  /// Competitive mode: the same objects keyed by the source's own priority.
-  LazyMaxHeap secondary_queue_;
+  std::vector<Channel> channels_;
   bool secondary_enabled_ = false;
-  /// Time-varying policies: wake-ups at predicted threshold crossings.
-  TimeMinHeap wake_queue_;
   double tick_length_ = 1.0;
   bool at_full_capacity_ = false;
   int64_t refreshes_sent_ = 0;
   double granted_rate_ = 0.0;
-  double last_emit_time_ = 0.0;
   Simulation* sim_ = nullptr;
 };
 

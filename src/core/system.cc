@@ -14,34 +14,57 @@ void CooperativeScheduler::Initialize(Harness* harness) {
   const Workload& workload = harness->workload();
   const int m = workload.num_sources;
   const double tick = harness->config().tick_length;
-
-  double feedback_period = config_.expected_feedback_period;
-  if (feedback_period <= 0.0) {
-    // The paper's estimate: total number of sources / average cache-side
-    // bandwidth. Floored at one tick: feedback is delivered at tick
-    // granularity, so a shorter expected period would spuriously trigger
-    // the flooding accelerator in every steady-state tick.
-    feedback_period =
-        std::max(static_cast<double>(m) / config_.cache_bandwidth_avg, tick);
-  }
+  const int num_caches = std::max(config_.num_caches, workload.num_caches);
 
   NetworkConfig net_config;
   net_config.num_sources = m;
+  net_config.num_caches = num_caches;
   net_config.cache_bandwidth_avg = config_.cache_bandwidth_avg;
+  net_config.cache_bandwidth_overrides = config_.cache_bandwidths;
   net_config.source_bandwidth_avg = config_.source_bandwidth_avg;
   net_config.bandwidth_change_rate = config_.bandwidth_change_rate;
   network_ = std::make_unique<Network>(net_config, harness->scheduler_rng());
   if (config_.loss_rate > 0.0) {
-    network_->cache_link().SetLossRate(config_.loss_rate,
-                                       harness->scheduler_rng()->NextUint64());
+    for (int c = 0; c < num_caches; ++c) {
+      network_->cache_link(c).SetLossRate(config_.loss_rate,
+                                          harness->scheduler_rng()->NextUint64());
+    }
   }
 
-  cache_ = std::make_unique<CacheAgent>(m);
+  sources_by_cache_ = SourcesByCache(workload);
+  sources_by_cache_.resize(static_cast<size_t>(num_caches));
+
+  // The paper's P_feedback estimate, per cache: sources interested in the
+  // cache / the cache's average bandwidth. Floored at one tick: feedback is
+  // delivered at tick granularity, so a shorter expected period would
+  // spuriously trigger the flooding accelerator in every steady-state tick.
+  std::vector<double> feedback_periods(static_cast<size_t>(num_caches), 0.0);
+  for (int c = 0; c < num_caches; ++c) {
+    if (config_.expected_feedback_period > 0.0) {
+      feedback_periods[c] = config_.expected_feedback_period;
+      continue;
+    }
+    const double bandwidth = network_->cache_link(c).average_bandwidth();
+    const double interested = static_cast<double>(sources_by_cache_[c].size());
+    feedback_periods[c] =
+        interested > 0.0 ? std::max(interested / bandwidth, tick) : tick;
+  }
+
+  caches_.clear();
+  caches_.reserve(num_caches);
+  for (int c = 0; c < num_caches; ++c) {
+    // A cache no source is interested in stays idle (null agent).
+    caches_.push_back(sources_by_cache_[c].empty()
+                          ? nullptr
+                          : std::make_unique<CacheAgent>(c, sources_by_cache_[c]));
+  }
+
   sources_.clear();
   sources_.reserve(m);
   for (int j = 0; j < m; ++j) {
     sources_.push_back(std::make_unique<SourceAgent>(
-        j, config_.source, feedback_period, policy_.get(), harness));
+        j, config_.source, feedback_periods[0], policy_.get(), harness));
+    sources_[j]->SetFeedbackPeriods(feedback_periods);
   }
 
   object_source_.resize(workload.objects.size());
@@ -60,15 +83,26 @@ void CooperativeScheduler::OnObjectUpdate(ObjectIndex index, double t) {
   sources_[object_source_[index]]->OnObjectUpdate(index, t);
 }
 
+CacheAgent& CooperativeScheduler::cache(int c) {
+  BESYNC_CHECK(caches_[c] != nullptr)
+      << "cache " << c << " has no interested sources (no agent)";
+  return *caches_[c];
+}
+
 void CooperativeScheduler::FillFeedback(Message* /*feedback*/, int /*source_index*/,
                                         double /*t*/) {}
 
 void CooperativeScheduler::SendPhase(double t) {
   // Random source visiting order so no source systematically wins the race
-  // for queue positions on the shared cache link.
+  // for queue positions on a shared cache link.
   harness_->scheduler_rng()->Shuffle(&source_order_);
   for (int j : source_order_) {
-    sources_[j]->SendRefreshes(t, &network_->source_link(j), &network_->cache_link());
+    SourceAgent& agent = *sources_[j];
+    Link* source_link = &network_->source_link(j);
+    for (int k = 0; k < agent.num_channels(); ++k) {
+      agent.SendRefreshes(t, source_link,
+                          &network_->cache_link(agent.channel_cache_id(k)), k);
+    }
   }
 }
 
@@ -76,62 +110,92 @@ void CooperativeScheduler::Tick(double t) {
   const double tick = harness_->config().tick_length;
   network_->BeginTick(t, tick);
 
-  // 1. Deliver control messages (feedback) that arrived since last tick.
-  for (int j = 0; j < num_sources(); ++j) {
-    for (const Message& message : network_->TakeSourceMail(j)) {
-      sources_[j]->OnFeedback(message, t);
+  // 1. Deliver control messages (feedback) that arrived since last tick;
+  //    feedback from cache c adjusts T_{j,c} only.
+  for (int c = 0; c < num_caches(); ++c) {
+    for (int32_t j : sources_by_cache_[c]) {
+      for (const Message& message : network_->TakeSourceMail(c, j)) {
+        sources_[j]->OnFeedback(message, t);
+      }
     }
   }
 
   // 2. Sources emit refreshes for over-threshold objects.
   SendPhase(t);
 
-  // 3. The cache-side link delivers queued refreshes within its budget.
-  network_->cache_link().DeliverQueued([&](const Message& message) {
-    harness_->DeliverRefresh(message, t);
-    cache_->RecordRefresh(message, t);
-  });
+  // 3. Every cache-side link delivers queued refreshes within its budget.
+  for (int c = 0; c < num_caches(); ++c) {
+    CacheAgent* cache = caches_[c].get();
+    if (cache == nullptr) continue;
+    network_->cache_link(c).DeliverQueued([&](const Message& message) {
+      harness_->DeliverRefresh(message, t);
+      cache->RecordRefresh(message, t);
+    });
+  }
 
-  // 4. Surplus cache-side bandwidth becomes positive feedback, aimed at the
-  //    sources with the highest local thresholds.
-  const int64_t surplus = network_->cache_link().remaining_budget();
-  if (surplus > 0) {
-    const std::vector<int> targets = cache_->SelectFeedbackTargets(surplus, t);
+  // 4. Surplus cache-side bandwidth becomes positive feedback, aimed per
+  //    cache at the sources with the highest local thresholds there.
+  for (int c = 0; c < num_caches(); ++c) {
+    CacheAgent* cache = caches_[c].get();
+    if (cache == nullptr) continue;
+    const int64_t surplus = network_->cache_link(c).remaining_budget();
+    if (surplus <= 0) continue;
+    const std::vector<int> targets = cache->SelectFeedbackTargets(surplus, t);
     for (int j : targets) {
       // Feedback consumes the (otherwise idle) surplus capacity.
-      const int64_t granted = network_->cache_link().ConsumeBudget(1);
+      const int64_t granted = network_->cache_link(c).ConsumeBudget(1);
       BESYNC_DCHECK(granted == 1);
       Message feedback;
       feedback.kind = MessageKind::kFeedback;
       feedback.source_index = j;
       feedback.send_time = t;
       FillFeedback(&feedback, j, t);
-      network_->SendToSource(j, feedback);
+      network_->SendToSource(c, j, feedback);
     }
   }
 }
 
 void CooperativeScheduler::OnMeasurementStart(double /*t*/) {
   network_->ResetStats();
-  cache_->ResetCounters();
+  for (auto& cache : caches_) {
+    if (cache != nullptr) cache->ResetCounters();
+  }
   for (auto& source : sources_) source->ResetCounters();
 }
 
 SchedulerStats CooperativeScheduler::stats() const {
   SchedulerStats stats;
+  int64_t channels = 0;
   for (const auto& source : sources_) {
     stats.refreshes_sent += source->refreshes_sent();
-    stats.mean_threshold += source->threshold();
+    for (int k = 0; k < source->num_channels(); ++k) {
+      stats.mean_threshold += source->threshold(k);
+      ++channels;
+    }
   }
-  if (!sources_.empty()) {
-    stats.mean_threshold /= static_cast<double>(sources_.size());
+  if (channels > 0) stats.mean_threshold /= static_cast<double>(channels);
+  for (const auto& cache : caches_) {
+    if (cache == nullptr) continue;
+    stats.refreshes_delivered += cache->refreshes_received();
+    stats.feedback_sent += cache->feedback_sent();
   }
-  stats.refreshes_delivered = cache_->refreshes_received();
-  stats.feedback_sent = cache_->feedback_sent();
-  const Link& link = network_->cache_link();
-  stats.cache_utilization = link.utilization().utilization();
-  stats.avg_cache_queue = link.queue_length_stat().mean();
-  stats.max_cache_queue = static_cast<int64_t>(link.max_queue_size());
+  // Aggregate across cache links: utilization by capacity, queue length by
+  // sample count, maximum over maxima (degenerates to the single link's own
+  // statistics at one cache).
+  double used = 0.0, capacity = 0.0, queue_sum = 0.0;
+  int64_t queue_count = 0;
+  for (int c = 0; c < network_->num_caches(); ++c) {
+    const Link& link = network_->cache_link(c);
+    used += link.utilization().used();
+    capacity += link.utilization().capacity();
+    queue_sum += link.queue_length_stat().sum();
+    queue_count += link.queue_length_stat().count();
+    stats.max_cache_queue = std::max(stats.max_cache_queue,
+                                     static_cast<int64_t>(link.max_queue_size()));
+  }
+  stats.cache_utilization = capacity > 0.0 ? used / capacity : 0.0;
+  stats.avg_cache_queue =
+      queue_count > 0 ? queue_sum / static_cast<double>(queue_count) : 0.0;
   return stats;
 }
 
@@ -146,6 +210,10 @@ Result<RunResult> RunScheduler(const Workload* workload, const DivergenceMetric*
   RunResult result;
   result.scheduler_name = scheduler->name();
   result.total_weighted_divergence = harness.ground_truth().TotalWeightedAverage();
+  result.per_cache_weighted.reserve(workload->num_caches);
+  for (int c = 0; c < workload->num_caches; ++c) {
+    result.per_cache_weighted.push_back(harness.ground_truth().PerCacheWeightedAverage(c));
+  }
   result.per_object_weighted = harness.ground_truth().PerObjectWeightedAverage();
   result.per_object_unweighted = harness.ground_truth().PerObjectUnweightedAverage();
   result.scheduler = scheduler->stats();

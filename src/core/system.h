@@ -14,10 +14,19 @@
 
 namespace besync {
 
-/// Configuration of the full cooperative protocol (Sections 5-6).
+/// Configuration of the full cooperative protocol (Sections 5-6),
+/// generalized to a topology of `num_caches` caches with independent
+/// cache-side links.
 struct CooperativeConfig {
-  /// Average cache-side bandwidth B_C (messages/second).
+  /// Number of caches. 1 reproduces the paper's Figure-1 star topology.
+  /// Must cover every cache id in the workload's interest map.
+  int num_caches = 1;
+  /// Average cache-side bandwidth B_C (messages/second), applied to every
+  /// cache not covered by `cache_bandwidths`.
   double cache_bandwidth_avg = 10.0;
+  /// Optional per-cache average bandwidth; entry c overrides
+  /// cache_bandwidth_avg for cache c (values <= 0 fall back to the average).
+  std::vector<double> cache_bandwidths;
   /// Average source-side bandwidth B_S; <= 0 means unconstrained.
   double source_bandwidth_avg = -1.0;
   /// Maximum relative bandwidth change rate mB (0 = constant).
@@ -28,11 +37,12 @@ struct CooperativeConfig {
   double history_beta = 0.5;
   /// Per-source protocol knobs (threshold parameters, monitoring mode).
   SourceAgentConfig source;
-  /// Expected feedback period P_feedback; 0 derives the paper's estimate
-  /// (number of sources / average cache-side bandwidth), floored at one tick
-  /// since feedback cannot arrive more often than once per tick.
+  /// Expected feedback period P_feedback; 0 derives the paper's estimate per
+  /// cache (number of sources interested in the cache / the cache's average
+  /// bandwidth), floored at one tick since feedback cannot arrive more often
+  /// than once per tick.
   double expected_feedback_period = 0.0;
-  /// Random loss probability on the cache-side link (robustness studies).
+  /// Random loss probability on the cache-side links (robustness studies).
   /// A lost refresh leaves the cache stale until the object's next update
   /// raises its priority over the threshold again — the protocol has no
   /// acknowledgments, by design.
@@ -41,14 +51,17 @@ struct CooperativeConfig {
 
 /// "Our algorithm": the adaptive threshold-based cooperative refresh
 /// scheduler of Section 5, running over the bandwidth-constrained network
-/// model. Each tick it
-///   1. delivers pending feedback to sources (adjusting local thresholds),
+/// model and generalized so the cache count is a first-class topology
+/// parameter. Each tick it
+///   1. delivers pending feedback to sources — feedback from cache c
+///      adjusts the per-cache threshold T_{j,c} only,
 ///   2. lets every source emit refreshes for its over-threshold objects
-///      within its source-side budget (sources visited in random order),
-///   3. delivers queued refresh messages to the cache within the cache-side
+///      within its source-side budget (sources visited in random order,
+///      each source serving its cache channels in ascending cache order),
+///   3. delivers queued refresh messages to each cache within that cache's
 ///      budget, and
-///   4. spends any cache-side surplus on positive feedback to the sources
-///      with the highest known thresholds.
+///   4. spends each cache's surplus on positive feedback to the sources
+///      with the highest known thresholds at that cache.
 class CooperativeScheduler : public Scheduler {
  public:
   explicit CooperativeScheduler(const CooperativeConfig& config);
@@ -62,10 +75,12 @@ class CooperativeScheduler : public Scheduler {
 
   // Introspection (tests, competitive subclass).
   int num_sources() const { return static_cast<int>(sources_.size()); }
+  int num_caches() const { return static_cast<int>(caches_.size()); }
   const SourceAgent& source(int j) const { return *sources_[j]; }
   SourceAgent& mutable_source(int j) { return *sources_[j]; }
-  Link& cache_link() { return network_->cache_link(); }
-  CacheAgent& cache() { return *cache_; }
+  Link& cache_link(int c = 0) { return network_->cache_link(c); }
+  /// Fails on caches no source is interested in (those stay agent-less).
+  CacheAgent& cache(int c = 0);
 
  protected:
   /// Hook for subclasses to decorate outgoing feedback (competitive rate
@@ -81,7 +96,10 @@ class CooperativeScheduler : public Scheduler {
   std::unique_ptr<PriorityPolicy> policy_;
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<SourceAgent>> sources_;
-  std::unique_ptr<CacheAgent> cache_;
+  /// One agent per cache, in cache-id order.
+  std::vector<std::unique_ptr<CacheAgent>> caches_;
+  /// Per cache: the ascending source ids with >= 1 object replicated there.
+  std::vector<std::vector<int32_t>> sources_by_cache_;
   std::vector<int> source_order_;
   std::vector<int32_t> object_source_;
 };
@@ -89,9 +107,13 @@ class CooperativeScheduler : public Scheduler {
 /// Scheduler-agnostic summary of one simulation run.
 struct RunResult {
   std::string scheduler_name;
-  /// Σ_i time-average of W_i * D_i (the paper's objective).
+  /// Σ over caches and replicas of the time-average of W * D (the paper's
+  /// objective, summed over the topology).
   double total_weighted_divergence = 0.0;
-  /// Per-object weighted / unweighted averages.
+  /// Per-cache contributions to total_weighted_divergence (size =
+  /// workload.num_caches).
+  std::vector<double> per_cache_weighted;
+  /// Per-replica weighted / unweighted averages.
   double per_object_weighted = 0.0;
   double per_object_unweighted = 0.0;
   SchedulerStats scheduler;

@@ -1,10 +1,77 @@
 #include "data/workload.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
 
 namespace besync {
+
+std::string InterestPatternToString(InterestPattern pattern) {
+  switch (pattern) {
+    case InterestPattern::kSingleCache:
+      return "single-cache";
+    case InterestPattern::kPartitionedBySource:
+      return "partitioned";
+    case InterestPattern::kFullReplication:
+      return "full-replication";
+    case InterestPattern::kZipfOverlap:
+      return "zipf-overlap";
+  }
+  return "unknown";
+}
+
+std::vector<std::vector<int32_t>> SourcesByCache(const Workload& workload) {
+  std::vector<std::vector<int32_t>> sources(
+      static_cast<size_t>(workload.num_caches));
+  // Objects are grouped by source and each spec's cache list is ascending,
+  // so appending while deduplicating against the back keeps lists sorted.
+  for (const ObjectSpec& spec : workload.objects) {
+    for (int32_t cache : spec.caches) {
+      auto& list = sources[cache];
+      if (list.empty() || list.back() != spec.source_index) {
+        list.push_back(spec.source_index);
+      }
+    }
+  }
+  return sources;
+}
+
+namespace {
+
+/// Assigns `spec->caches` for one object under the configured interest
+/// pattern. `interest_rng` is drawn from only in kZipfOverlap mode, so the
+/// default patterns leave the generator stream untouched.
+void AssignInterest(const WorkloadConfig& config, Rng* interest_rng,
+                    ObjectSpec* spec) {
+  const int32_t primary =
+      spec->source_index % static_cast<int32_t>(config.num_caches);
+  switch (config.interest_pattern) {
+    case InterestPattern::kSingleCache:
+      spec->caches = {0};
+      break;
+    case InterestPattern::kPartitionedBySource:
+      spec->caches = {primary};
+      break;
+    case InterestPattern::kFullReplication:
+      spec->caches.resize(config.num_caches);
+      for (int c = 0; c < config.num_caches; ++c) spec->caches[c] = c;
+      break;
+    case InterestPattern::kZipfOverlap: {
+      const int degree = static_cast<int>(
+          interest_rng->Zipf(config.num_caches, config.zipf_overlap_exponent));
+      spec->caches.clear();
+      for (int k = 0; k < degree; ++k) {
+        spec->caches.push_back((primary + k) %
+                               static_cast<int32_t>(config.num_caches));
+      }
+      std::sort(spec->caches.begin(), spec->caches.end());
+      break;
+    }
+  }
+}
+
+}  // namespace
 
 Result<Workload> MakeWorkload(const WorkloadConfig& config) {
   if (config.num_sources < 1) {
@@ -14,6 +81,15 @@ Result<Workload> MakeWorkload(const WorkloadConfig& config) {
   if (config.objects_per_source < 1) {
     return Status::InvalidArgument("objects_per_source must be >= 1, got ",
                                    config.objects_per_source);
+  }
+  if (config.num_caches < 1) {
+    return Status::InvalidArgument("num_caches must be >= 1, got ",
+                                   config.num_caches);
+  }
+  if (config.interest_pattern == InterestPattern::kSingleCache &&
+      config.num_caches != 1) {
+    return Status::InvalidArgument(
+        "interest_pattern kSingleCache requires num_caches == 1");
   }
   if (config.rate_lo < 0.0 || config.rate_hi < config.rate_lo) {
     return Status::InvalidArgument("invalid rate range");
@@ -51,13 +127,20 @@ Result<Workload> MakeWorkload(const WorkloadConfig& config) {
   Workload workload;
   workload.num_sources = config.num_sources;
   workload.objects_per_source = config.objects_per_source;
+  workload.num_caches = config.num_caches;
   workload.has_fluctuating_weights = config.weight_fluctuation_amplitude > 0.0;
   workload.objects.reserve(total);
+
+  // Interest assignment uses a dedicated stream so the default single-cache
+  // path consumes no randomness and stays bit-identical to the historical
+  // generator output.
+  Rng interest_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
 
   for (int64_t i = 0; i < total; ++i) {
     ObjectSpec spec;
     spec.index = i;
     spec.source_index = static_cast<int32_t>(i / config.objects_per_source);
+    AssignInterest(config, &interest_rng, &spec);
 
     switch (config.rate_distribution) {
       case RateDistribution::kUniform:

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "data/object.h"
@@ -19,6 +20,20 @@ struct ObjectSpec {
   ObjectIndex index = 0;
   /// Which source hosts this object (0 .. m-1).
   int32_t source_index = 0;
+  /// Which caches replicate this object (the interest map), ascending and
+  /// duplicate-free. The paper's Figure-1 star topology is the default:
+  /// every object lives at the single cache 0.
+  std::vector<int32_t> caches = {0};
+
+  /// Position of `cache_id` in `caches` (the object's replica slot at that
+  /// cache), or -1 if the cache does not replicate this object.
+  int replica_slot(int32_t cache_id) const {
+    for (size_t r = 0; r < caches.size(); ++r) {
+      if (caches[r] == cache_id) return static_cast<int>(r);
+    }
+    return -1;
+  }
+  int num_replicas() const { return static_cast<int>(caches.size()); }
   /// Long-run average update rate (the lambda parameter); mirror of
   /// process->rate() kept here for oracle access.
   double lambda = 0.0;
@@ -41,17 +56,35 @@ struct ObjectSpec {
   uint64_t rng_seed = 0;
 };
 
-/// A complete multi-source workload: m sources with n objects each.
+/// A complete multi-source workload: m sources with n objects each,
+/// replicated over `num_caches` caches according to the per-object interest
+/// map (`ObjectSpec::caches`).
 struct Workload {
   int num_sources = 0;
   int objects_per_source = 0;
+  /// Number of caches in the topology. 1 reproduces the paper's single-cache
+  /// star of Figure 1.
+  int num_caches = 1;
   std::vector<ObjectSpec> objects;  // size m*n, grouped by source
   /// True if any weight fluctuates over time (enables periodic weight
   /// refresh in the divergence accounting).
   bool has_fluctuating_weights = false;
 
   int64_t total_objects() const { return static_cast<int64_t>(objects.size()); }
+
+  /// Total number of (object, cache) replicas — the unit the multi-cache
+  /// objective sums over.
+  int64_t total_replicas() const {
+    int64_t total = 0;
+    for (const ObjectSpec& spec : objects) total += spec.num_replicas();
+    return total;
+  }
 };
+
+/// For each cache id 0..num_caches-1, the ascending duplicate-free list of
+/// sources hosting at least one object replicated at that cache (the sources
+/// the cache exchanges protocol messages with).
+std::vector<std::vector<int32_t>> SourcesByCache(const Workload& workload);
 
 /// How per-object update rates are assigned (paper Sections 4.3, 6).
 enum class RateDistribution {
@@ -81,11 +114,39 @@ enum class WeightScheme {
   kHalfHeavy,
 };
 
+/// How objects are assigned to caches in a multi-cache topology.
+enum class InterestPattern {
+  /// Every object is replicated at cache 0 only (the paper's topology).
+  /// Requires num_caches == 1.
+  kSingleCache,
+  /// Each source's objects live at exactly one cache:
+  /// cache = source_index mod num_caches. Disjoint partitions — caches
+  /// behave like independent single-cache systems over sub-workloads.
+  kPartitionedBySource,
+  /// Every object is replicated at every cache.
+  kFullReplication,
+  /// Each object has a primary cache (source_index mod num_caches) plus a
+  /// Zipf-distributed replication degree: most objects live at one cache, a
+  /// popular few are replicated widely (overlapping interest).
+  kZipfOverlap,
+};
+
+std::string InterestPatternToString(InterestPattern pattern);
+
 /// Generator parameters for the synthetic random-walk workloads used
 /// throughout the paper's evaluation.
 struct WorkloadConfig {
   int num_sources = 1;
   int objects_per_source = 100;
+
+  /// Multi-cache topology knobs. The defaults reproduce the paper's
+  /// single-cache system exactly (and consume no generator randomness, so
+  /// single-cache workloads are bit-identical to the pre-topology ones).
+  int num_caches = 1;
+  InterestPattern interest_pattern = InterestPattern::kSingleCache;
+  /// Zipf exponent of the replication-degree distribution (kZipfOverlap);
+  /// larger = fewer widely-replicated objects.
+  double zipf_overlap_exponent = 1.0;
 
   /// kPoisson: continuous-time Poisson updates (Section 6.2);
   /// kBernoulli: per-second update probability (Section 4.3).

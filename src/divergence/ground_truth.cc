@@ -11,27 +11,59 @@ GroundTruth::GroundTruth(const Workload* workload, const DivergenceMetric* metri
     : workload_(workload), metric_(metric), use_source_weights_(use_source_weights) {
   BESYNC_CHECK(workload != nullptr);
   BESYNC_CHECK(metric != nullptr);
-  entries_.resize(workload->objects.size());
+  replica_base_.reserve(workload->objects.size());
+  size_t base = 0;
+  for (const ObjectSpec& spec : workload->objects) {
+    replica_base_.push_back(base);
+    BESYNC_CHECK_GE(spec.num_replicas(), 1);
+    base += static_cast<size_t>(spec.num_replicas());
+  }
+  entries_.resize(base);
+  for (size_t i = 0; i < workload->objects.size(); ++i) {
+    const ObjectSpec& spec = workload->objects[i];
+    for (int r = 0; r < spec.num_replicas(); ++r) {
+      BESYNC_CHECK_GE(spec.caches[r], 0);
+      BESYNC_CHECK_LT(spec.caches[r], workload->num_caches);
+      entries_[replica_base_[i] + r].cache_id = spec.caches[r];
+    }
+  }
+  const size_t caches = static_cast<size_t>(workload->num_caches);
+  weighted_sum_.assign(caches, 0.0);
+  unweighted_sum_.assign(caches, 0.0);
+  weighted_integral_.assign(caches, 0.0);
+  unweighted_integral_.assign(caches, 0.0);
+}
+
+size_t GroundTruth::ReplicaEntry(ObjectIndex index, int32_t cache_id) const {
+  const int slot = workload_->objects[index].replica_slot(cache_id);
+  BESYNC_CHECK_GE(slot, 0) << "object " << index << " has no replica at cache "
+                           << cache_id;
+  return replica_base_[index] + static_cast<size_t>(slot);
+}
+
+const Fluctuation* GroundTruth::WeightFn(const ObjectSpec& spec) const {
+  return use_source_weights_ && spec.source_weight ? spec.source_weight.get()
+                                                   : spec.weight.get();
 }
 
 void GroundTruth::Initialize(double t) {
-  for (size_t i = 0; i < entries_.size(); ++i) {
+  for (size_t i = 0; i < workload_->objects.size(); ++i) {
     const ObjectSpec& spec = workload_->objects[i];
-    Entry& entry = entries_[i];
-    entry.source_value = spec.initial_value;
-    entry.source_version = 0;
-    entry.cached_value = spec.initial_value;
-    entry.cached_version = 0;
-    entry.divergence = 0.0;
-    const Fluctuation* weight_fn =
-        use_source_weights_ && spec.source_weight ? spec.source_weight.get()
-                                                  : spec.weight.get();
-    entry.weight = weight_fn->ValueAt(t);
+    const double weight = WeightFn(spec)->ValueAt(t);
+    for (int r = 0; r < spec.num_replicas(); ++r) {
+      Entry& entry = entries_[replica_base_[i] + r];
+      entry.source_value = spec.initial_value;
+      entry.source_version = 0;
+      entry.cached_value = spec.initial_value;
+      entry.cached_version = 0;
+      entry.divergence = 0.0;
+      entry.weight = weight;
+    }
   }
   last_time_ = t;
   measure_start_ = t;
-  weighted_integral_ = 0.0;
-  unweighted_integral_ = 0.0;
+  std::fill(weighted_integral_.begin(), weighted_integral_.end(), 0.0);
+  std::fill(unweighted_integral_.begin(), unweighted_integral_.end(), 0.0);
   RebuildSums();
 }
 
@@ -39,41 +71,46 @@ void GroundTruth::AdvanceTo(double t) {
   BESYNC_DCHECK(t >= last_time_);
   const double dt = t - last_time_;
   if (dt > 0.0) {
-    weighted_integral_ += weighted_sum_ * dt;
-    unweighted_integral_ += unweighted_sum_ * dt;
+    for (size_t c = 0; c < weighted_sum_.size(); ++c) {
+      weighted_integral_[c] += weighted_sum_[c] * dt;
+      unweighted_integral_[c] += unweighted_sum_[c] * dt;
+    }
     last_time_ = t;
   }
 }
 
 void GroundTruth::SetDivergence(Entry* entry, double divergence) {
-  weighted_sum_ += (divergence - entry->divergence) * entry->weight;
-  unweighted_sum_ += divergence - entry->divergence;
+  weighted_sum_[entry->cache_id] += (divergence - entry->divergence) * entry->weight;
+  unweighted_sum_[entry->cache_id] += divergence - entry->divergence;
   entry->divergence = divergence;
 }
 
 void GroundTruth::RebuildSums() {
-  weighted_sum_ = 0.0;
-  unweighted_sum_ = 0.0;
+  std::fill(weighted_sum_.begin(), weighted_sum_.end(), 0.0);
+  std::fill(unweighted_sum_.begin(), unweighted_sum_.end(), 0.0);
   for (const Entry& entry : entries_) {
-    weighted_sum_ += entry.divergence * entry.weight;
-    unweighted_sum_ += entry.divergence;
+    weighted_sum_[entry.cache_id] += entry.divergence * entry.weight;
+    unweighted_sum_[entry.cache_id] += entry.divergence;
   }
 }
 
 void GroundTruth::OnSourceUpdate(ObjectIndex index, double t, double value,
                                  int64_t version) {
   AdvanceTo(t);
-  Entry& entry = entries_[index];
-  entry.source_value = value;
-  entry.source_version = version;
-  SetDivergence(&entry, metric_->Divergence(value, version, entry.cached_value,
-                                            entry.cached_version));
+  const int replicas = workload_->objects[index].num_replicas();
+  for (int r = 0; r < replicas; ++r) {
+    Entry& entry = entries_[replica_base_[index] + r];
+    entry.source_value = value;
+    entry.source_version = version;
+    SetDivergence(&entry, metric_->Divergence(value, version, entry.cached_value,
+                                              entry.cached_version));
+  }
 }
 
-void GroundTruth::OnCacheApply(ObjectIndex index, double t, double value,
-                               int64_t version) {
+void GroundTruth::OnCacheApply(ObjectIndex index, int32_t cache_id, double t,
+                               double value, int64_t version) {
   AdvanceTo(t);
-  Entry& entry = entries_[index];
+  Entry& entry = entries_[ReplicaEntry(index, cache_id)];
   // Refreshes may be delivered out of order relative to newer content only
   // in CGM-style protocols; never regress the cached version.
   if (version < entry.cached_version) return;
@@ -83,22 +120,27 @@ void GroundTruth::OnCacheApply(ObjectIndex index, double t, double value,
                                             value, version));
 }
 
+void GroundTruth::OnCacheApply(ObjectIndex index, double t, double value,
+                               int64_t version) {
+  OnCacheApply(index, workload_->objects[index].caches.front(), t, value, version);
+}
+
 void GroundTruth::RefreshWeights(double t) {
   AdvanceTo(t);
-  for (size_t i = 0; i < entries_.size(); ++i) {
+  for (size_t i = 0; i < workload_->objects.size(); ++i) {
     const ObjectSpec& spec = workload_->objects[i];
-    const Fluctuation* weight_fn =
-        use_source_weights_ && spec.source_weight ? spec.source_weight.get()
-                                                  : spec.weight.get();
-    entries_[i].weight = weight_fn->ValueAt(t);
+    const double weight = WeightFn(spec)->ValueAt(t);
+    for (int r = 0; r < spec.num_replicas(); ++r) {
+      entries_[replica_base_[i] + r].weight = weight;
+    }
   }
   RebuildSums();
 }
 
 void GroundTruth::StartMeasurement(double t) {
   AdvanceTo(t);
-  weighted_integral_ = 0.0;
-  unweighted_integral_ = 0.0;
+  std::fill(weighted_integral_.begin(), weighted_integral_.end(), 0.0);
+  std::fill(unweighted_integral_.begin(), unweighted_integral_.end(), 0.0);
   measure_start_ = t;
   RebuildSums();
 }
@@ -108,9 +150,19 @@ void GroundTruth::FinishMeasurement(double t) { AdvanceTo(t); }
 double GroundTruth::TotalWeightedAverage() const {
   const double duration = measurement_duration();
   if (duration <= 0.0) return 0.0;
+  double total = 0.0;
+  for (double integral : weighted_integral_) total += integral;
   // Guard against tiny negative values from float cancellation when the
   // true integral is ~0.
-  return std::max(0.0, weighted_integral_ / duration);
+  return std::max(0.0, total / duration);
+}
+
+double GroundTruth::PerCacheWeightedAverage(int32_t cache_id) const {
+  const double duration = measurement_duration();
+  if (duration <= 0.0) return 0.0;
+  BESYNC_CHECK_GE(cache_id, 0);
+  BESYNC_CHECK_LT(cache_id, num_caches());
+  return std::max(0.0, weighted_integral_[cache_id] / duration);
 }
 
 double GroundTruth::PerObjectWeightedAverage() const {
@@ -121,8 +173,9 @@ double GroundTruth::PerObjectWeightedAverage() const {
 double GroundTruth::PerObjectUnweightedAverage() const {
   const double duration = measurement_duration();
   if (duration <= 0.0 || entries_.empty()) return 0.0;
-  return std::max(0.0,
-                  unweighted_integral_ / duration / static_cast<double>(entries_.size()));
+  double total = 0.0;
+  for (double integral : unweighted_integral_) total += integral;
+  return std::max(0.0, total / duration / static_cast<double>(entries_.size()));
 }
 
 }  // namespace besync

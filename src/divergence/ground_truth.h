@@ -9,21 +9,22 @@
 
 namespace besync {
 
-/// Ground-truth divergence accounting: tracks the *actual* cache contents
-/// (which lag behind the sources whenever refresh messages queue in the
-/// network) against the live source values, and integrates weighted and
-/// unweighted divergence exactly over time.
+/// Ground-truth divergence accounting: tracks the *actual* contents of every
+/// cache replica (which lag behind the sources whenever refresh messages
+/// queue in the network) against the live source values, and integrates
+/// weighted and unweighted divergence exactly over time.
+///
+/// One accounting entry exists per (object, cache) replica, as given by the
+/// workload's interest map; the single-cache topology degenerates to one
+/// entry per object. Sums and integrals are maintained per cache, and the
+/// reported objective is the sum over caches — Σ_c Σ_{i at c} of the
+/// time-averaged weighted divergence of replica (i, c).
 ///
 /// Divergence is piecewise constant between events, so the integrals are
-/// maintained event-incrementally in O(1) per source update / cache apply;
-/// fluctuating weights are re-evaluated periodically via RefreshWeights()
-/// (the paper's standing assumption is that weights change slowly relative
-/// to refresh timescales, Section 3.3).
-///
-/// The evaluation metric reported by every experiment is the paper's
-/// objective: the (weighted) sum over objects of time-averaged divergence,
-/// also divided by the object count when a per-object average is asked for
-/// (e.g. Figure 5's "average value deviation per data value").
+/// maintained event-incrementally in O(#replicas) per source update and
+/// O(1) per cache apply; fluctuating weights are re-evaluated periodically
+/// via RefreshWeights() (the paper's standing assumption is that weights
+/// change slowly relative to refresh timescales, Section 3.3).
 class GroundTruth {
  public:
   /// `workload` and `metric` must outlive this object. When
@@ -33,15 +34,20 @@ class GroundTruth {
   GroundTruth(const Workload* workload, const DivergenceMetric* metric,
               bool use_source_weights = false);
 
-  /// Initializes cache state = source state (synchronized) at time `t`.
+  /// Initializes every replica = source state (synchronized) at time `t`.
   void Initialize(double t);
 
-  /// Records that source object `index` now has (value, version).
+  /// Records that source object `index` now has (value, version); every
+  /// replica of the object diverges accordingly.
   void OnSourceUpdate(ObjectIndex index, double t, double value, int64_t version);
 
-  /// Records that the cache applied a refresh for object `index` carrying
-  /// (value, version) — the message content, which may itself be stale if
-  /// the object changed again while the message was queued.
+  /// Records that cache `cache_id` applied a refresh for object `index`
+  /// carrying (value, version) — the message content, which may itself be
+  /// stale if the object changed again while the message was queued.
+  void OnCacheApply(ObjectIndex index, int32_t cache_id, double t, double value,
+                    int64_t version);
+
+  /// Single-cache convenience: applies at the object's first replica.
   void OnCacheApply(ObjectIndex index, double t, double value, int64_t version);
 
   /// Re-evaluates all weights at time `t` (no-op work-wise for constant
@@ -57,25 +63,46 @@ class GroundTruth {
   // --- results (valid after FinishMeasurement) ---
 
   double measurement_duration() const { return last_time_ - measure_start_; }
-  /// Σ_i time-average of W_i(t)·D_i(t), i.e. total weighted divergence rate.
+  int num_caches() const { return static_cast<int>(weighted_integral_.size()); }
+  int64_t total_replicas() const { return static_cast<int64_t>(entries_.size()); }
+
+  /// Σ over caches and replicas of the time-average of W(t)·D(t) — the
+  /// paper's objective, generalized to the multi-cache topology.
   double TotalWeightedAverage() const;
-  /// TotalWeightedAverage() / number of objects.
+  /// Contribution of one cache to TotalWeightedAverage().
+  double PerCacheWeightedAverage(int32_t cache_id) const;
+  /// TotalWeightedAverage() / number of replicas.
   double PerObjectWeightedAverage() const;
   /// Unweighted counterpart (Figure 6 reports unweighted staleness).
   double PerObjectUnweightedAverage() const;
 
-  // --- live cache state (read by CGM estimators etc.) ---
+  // --- live replica state (read by CGM estimators etc.) ---
+  // The ObjectIndex-only forms read the object's first replica (exact for
+  // single-cache topologies, where every object has one replica).
 
-  double cached_value(ObjectIndex index) const { return entries_[index].cached_value; }
-  int64_t cached_version(ObjectIndex index) const {
-    return entries_[index].cached_version;
+  double cached_value(ObjectIndex index) const {
+    return entries_[replica_base_[index]].cached_value;
   }
-  double source_value(ObjectIndex index) const { return entries_[index].source_value; }
+  int64_t cached_version(ObjectIndex index) const {
+    return entries_[replica_base_[index]].cached_version;
+  }
+  double cached_value(ObjectIndex index, int32_t cache_id) const {
+    return entries_[ReplicaEntry(index, cache_id)].cached_value;
+  }
+  int64_t cached_version(ObjectIndex index, int32_t cache_id) const {
+    return entries_[ReplicaEntry(index, cache_id)].cached_version;
+  }
+  double source_value(ObjectIndex index) const {
+    return entries_[replica_base_[index]].source_value;
+  }
   int64_t source_version(ObjectIndex index) const {
-    return entries_[index].source_version;
+    return entries_[replica_base_[index]].source_version;
   }
   double current_divergence(ObjectIndex index) const {
-    return entries_[index].divergence;
+    return entries_[replica_base_[index]].divergence;
+  }
+  double current_divergence(ObjectIndex index, int32_t cache_id) const {
+    return entries_[ReplicaEntry(index, cache_id)].divergence;
   }
 
  private:
@@ -86,23 +113,32 @@ class GroundTruth {
     int64_t cached_version = 0;
     double divergence = 0.0;
     double weight = 1.0;
+    int32_t cache_id = 0;
   };
 
+  /// Flat entry index of object `index`'s replica at `cache_id` (checked).
+  size_t ReplicaEntry(ObjectIndex index, int32_t cache_id) const;
   /// Integrates the running sums up to `t`.
   void AdvanceTo(double t);
   /// Replaces an entry's divergence, maintaining the running sums.
   void SetDivergence(Entry* entry, double divergence);
   /// Rebuilds the running sums from scratch (bounds accumulation error).
   void RebuildSums();
+  const Fluctuation* WeightFn(const ObjectSpec& spec) const;
 
   const Workload* workload_;
   const DivergenceMetric* metric_;
   bool use_source_weights_;
+  /// One entry per (object, cache) replica; an object's replicas are
+  /// contiguous, in the order of its ObjectSpec::caches list.
   std::vector<Entry> entries_;
-  double weighted_sum_ = 0.0;    // Σ D_i * W_i at current time
-  double unweighted_sum_ = 0.0;  // Σ D_i at current time
-  double weighted_integral_ = 0.0;
-  double unweighted_integral_ = 0.0;
+  /// First entry of each object's replica range (size = #objects).
+  std::vector<size_t> replica_base_;
+  // Running sums / integrals, one slot per cache.
+  std::vector<double> weighted_sum_;    // Σ D * W at current time, per cache
+  std::vector<double> unweighted_sum_;  // Σ D at current time, per cache
+  std::vector<double> weighted_integral_;
+  std::vector<double> unweighted_integral_;
   double last_time_ = 0.0;
   double measure_start_ = 0.0;
 };

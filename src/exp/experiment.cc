@@ -26,7 +26,9 @@ std::unique_ptr<Scheduler> MakeScheduler(const ExperimentConfig& config) {
   switch (config.scheduler) {
     case SchedulerKind::kCooperative: {
       CooperativeConfig cooperative;
+      cooperative.num_caches = config.workload.num_caches;
       cooperative.cache_bandwidth_avg = config.cache_bandwidth_avg;
+      cooperative.cache_bandwidths = config.cache_bandwidths;
       cooperative.source_bandwidth_avg = config.source_bandwidth_avg;
       cooperative.bandwidth_change_rate = config.bandwidth_change_rate;
       cooperative.policy = config.policy;

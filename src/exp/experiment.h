@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baseline/cgm.h"
 #include "baseline/ideal.h"
@@ -37,8 +38,12 @@ struct ExperimentConfig {
   WorkloadConfig workload;
   HarnessConfig harness;
 
-  /// Average cache-side bandwidth B_C (messages/second).
+  /// Average cache-side bandwidth B_C (messages/second), for every cache
+  /// not covered by `cache_bandwidths`.
   double cache_bandwidth_avg = 10.0;
+  /// Optional per-cache average bandwidth overrides (cooperative scheduler;
+  /// the topology's cache count comes from the workload's interest map).
+  std::vector<double> cache_bandwidths;
   /// Average source-side bandwidth B_S; <= 0 unconstrained.
   double source_bandwidth_avg = -1.0;
   /// Maximum relative bandwidth change rate mB.

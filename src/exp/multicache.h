@@ -1,0 +1,47 @@
+#ifndef BESYNC_EXP_MULTICACHE_H_
+#define BESYNC_EXP_MULTICACHE_H_
+
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace besync {
+
+/// Sweep over multi-cache topologies: runs the cooperative scheduler on the
+/// base workload replicated over varying cache counts and interest
+/// patterns. The single-cache point (num_caches == 1) of any pattern
+/// reproduces the paper's topology.
+struct MulticacheConfig {
+  /// Base experiment: workload shape, harness timing and bandwidth knobs.
+  /// The workload's num_caches / interest_pattern fields are overridden per
+  /// sweep point; the scheduler is always the cooperative protocol.
+  ExperimentConfig base;
+  /// Cache counts to sweep.
+  std::vector<int> cache_counts = {1, 2, 4, 8};
+  /// Interest patterns to sweep at each cache count.
+  std::vector<InterestPattern> patterns = {InterestPattern::kPartitionedBySource,
+                                           InterestPattern::kZipfOverlap};
+  /// true: every cache gets the full base.cache_bandwidth_avg (total
+  /// capacity grows with the topology); false: the base bandwidth is split
+  /// evenly across caches (fixed total capacity).
+  bool bandwidth_per_cache = true;
+};
+
+/// One sweep point result.
+struct MulticachePoint {
+  int num_caches = 1;
+  InterestPattern pattern = InterestPattern::kPartitionedBySource;
+  /// Replicas in the workload (the objective's summation domain).
+  int64_t total_replicas = 0;
+  RunResult result;
+  /// Wall-clock seconds spent in the run (scaling diagnostics).
+  double wall_seconds = 0.0;
+};
+
+/// Runs the sweep: one cooperative run per (pattern, cache count) pair, in
+/// pattern-major order.
+Result<std::vector<MulticachePoint>> RunMulticacheSweep(const MulticacheConfig& config);
+
+}  // namespace besync
+
+#endif  // BESYNC_EXP_MULTICACHE_H_

@@ -37,6 +37,10 @@ struct Message {
   /// Originating source (refresh / poll response) or target source
   /// (feedback / poll request).
   int32_t source_index = -1;
+  /// Cache endpoint of the message: destination of refresh / poll-response
+  /// messages, originator of feedback / poll requests. 0 in the paper's
+  /// single-cache topology.
+  int32_t cache_id = 0;
   /// Global object index within the workload (refresh / poll).
   int64_t object_index = -1;
   /// Object value carried by refresh / poll-response messages.

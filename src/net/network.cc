@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <string>
 #include <utility>
 
 #include "util/logging.h"
@@ -14,10 +15,20 @@ constexpr double kUnconstrainedBandwidth = 1e12;
 
 Network::Network(const NetworkConfig& config, Rng* rng) : config_(config) {
   BESYNC_CHECK_GE(config.num_sources, 1);
+  BESYNC_CHECK_GE(config.num_caches, 1);
   BESYNC_CHECK_GT(config.cache_bandwidth_avg, 0.0);
-  cache_link_ = std::make_unique<Link>(
-      "cache", std::make_unique<BandwidthModel>(MakeBandwidthFluctuation(
-                   config.cache_bandwidth_avg, config.bandwidth_change_rate, rng)));
+  cache_links_.reserve(config.num_caches);
+  for (int c = 0; c < config.num_caches; ++c) {
+    double bandwidth = config.cache_bandwidth_avg;
+    if (c < static_cast<int>(config.cache_bandwidth_overrides.size()) &&
+        config.cache_bandwidth_overrides[c] > 0.0) {
+      bandwidth = config.cache_bandwidth_overrides[c];
+    }
+    cache_links_.push_back(std::make_unique<Link>(
+        config.num_caches == 1 ? "cache" : "cache-" + std::to_string(c),
+        std::make_unique<BandwidthModel>(MakeBandwidthFluctuation(
+            bandwidth, config.bandwidth_change_rate, rng))));
+  }
   source_links_.reserve(config.num_sources);
   const double source_bw = config.source_bandwidth_avg > 0.0
                                ? config.source_bandwidth_avg
@@ -30,19 +41,42 @@ Network::Network(const NetworkConfig& config, Rng* rng) : config_(config) {
         std::make_unique<BandwidthModel>(
             MakeBandwidthFluctuation(source_bw, source_change_rate, rng))));
   }
-  mail_incoming_.resize(config.num_sources);
-  mail_deliverable_.resize(config.num_sources);
+  const size_t slots =
+      static_cast<size_t>(config.num_caches) * static_cast<size_t>(config.num_sources);
+  mail_incoming_.resize(slots);
+  mail_deliverable_.resize(slots);
+}
+
+size_t Network::MailSlot(int cache_id, int source_index) const {
+  BESYNC_CHECK_GE(cache_id, 0);
+  BESYNC_CHECK_LT(cache_id, num_caches());
+  BESYNC_CHECK_GE(source_index, 0);
+  BESYNC_CHECK_LT(source_index, num_sources());
+  return static_cast<size_t>(cache_id) * static_cast<size_t>(num_sources()) +
+         static_cast<size_t>(source_index);
 }
 
 void Network::BeginTick(double tick_start, double tick_len) {
-  cache_link_->BeginTick(tick_start, tick_len);
+  for (auto& link : cache_links_) link->BeginTick(tick_start, tick_len);
   for (auto& link : source_links_) link->BeginTick(tick_start, tick_len);
-  for (int j = 0; j < num_sources(); ++j) {
-    for (auto& message : mail_incoming_[j]) {
-      mail_deliverable_[j].push_back(std::move(message));
+  for (size_t slot = 0; slot < mail_incoming_.size(); ++slot) {
+    for (auto& message : mail_incoming_[slot]) {
+      mail_deliverable_[slot].push_back(std::move(message));
     }
-    mail_incoming_[j].clear();
+    mail_incoming_[slot].clear();
   }
+}
+
+Link& Network::cache_link(int cache_id) {
+  BESYNC_CHECK_GE(cache_id, 0);
+  BESYNC_CHECK_LT(cache_id, num_caches());
+  return *cache_links_[cache_id];
+}
+
+const Link& Network::cache_link(int cache_id) const {
+  BESYNC_CHECK_GE(cache_id, 0);
+  BESYNC_CHECK_LT(cache_id, num_caches());
+  return *cache_links_[cache_id];
 }
 
 Link& Network::source_link(int source_index) {
@@ -51,20 +85,25 @@ Link& Network::source_link(int source_index) {
   return *source_links_[source_index];
 }
 
+void Network::SendToSource(int cache_id, int source_index, Message message) {
+  message.cache_id = cache_id;
+  mail_incoming_[MailSlot(cache_id, source_index)].push_back(std::move(message));
+}
+
 void Network::SendToSource(int source_index, Message message) {
-  BESYNC_CHECK_GE(source_index, 0);
-  BESYNC_CHECK_LT(source_index, num_sources());
-  mail_incoming_[source_index].push_back(std::move(message));
+  SendToSource(/*cache_id=*/0, source_index, std::move(message));
+}
+
+std::vector<Message> Network::TakeSourceMail(int cache_id, int source_index) {
+  return std::exchange(mail_deliverable_[MailSlot(cache_id, source_index)], {});
 }
 
 std::vector<Message> Network::TakeSourceMail(int source_index) {
-  BESYNC_CHECK_GE(source_index, 0);
-  BESYNC_CHECK_LT(source_index, num_sources());
-  return std::exchange(mail_deliverable_[source_index], {});
+  return TakeSourceMail(/*cache_id=*/0, source_index);
 }
 
 void Network::ResetStats() {
-  cache_link_->ResetStats();
+  for (auto& link : cache_links_) link->ResetStats();
   for (auto& link : source_links_) link->ResetStats();
 }
 

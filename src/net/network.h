@@ -12,11 +12,19 @@ namespace besync {
 
 /// Network topology parameters (paper Section 6: average cache-side
 /// bandwidth B_C, average source-side bandwidth B_S, maximum relative
-/// bandwidth change rate mB).
+/// bandwidth change rate mB), generalized to `num_caches` caches with
+/// independent cache-side links.
 struct NetworkConfig {
   int num_sources = 1;
-  /// Average cache-side bandwidth C(t), messages/second.
+  /// Number of caches, each with its own cache-side link. 1 reproduces the
+  /// paper's Figure-1 star topology.
+  int num_caches = 1;
+  /// Average cache-side bandwidth C(t), messages/second, applied to every
+  /// cache link not covered by `cache_bandwidth_overrides`.
   double cache_bandwidth_avg = 10.0;
+  /// Optional per-cache average bandwidth; entry c overrides
+  /// cache_bandwidth_avg for cache c (values <= 0 fall back to the average).
+  std::vector<double> cache_bandwidth_overrides;
   /// Average source-side bandwidth B_j(t), messages/second. <= 0 means
   /// unconstrained (the CGM polling model assumes no source-side limits).
   double source_bandwidth_avg = -1.0;
@@ -24,9 +32,11 @@ struct NetworkConfig {
   double bandwidth_change_rate = 0.0;
 };
 
-/// The star topology of Figure 1: m source-side links feeding one shared
-/// cache-side link. Also carries the cache -> source control channel
-/// (feedback / poll requests), delivered with one tick of latency.
+/// The generalized star topology: m source-side links feeding `num_caches`
+/// independent cache-side links (Figure 1 is the num_caches == 1 case).
+/// Also carries the cache -> source control channel (feedback / poll
+/// requests), keyed by (cache, source) and delivered with one tick of
+/// latency.
 class Network {
  public:
   Network(const NetworkConfig& config, Rng* rng);
@@ -35,16 +45,25 @@ class Network {
   /// makes control messages deposited during the previous tick deliverable.
   void BeginTick(double tick_start, double tick_len);
 
-  Link& cache_link() { return *cache_link_; }
-  const Link& cache_link() const { return *cache_link_; }
+  Link& cache_link(int cache_id);
+  const Link& cache_link(int cache_id) const;
+  /// Single-cache convenience (the paper's topology).
+  Link& cache_link() { return *cache_links_[0]; }
+  const Link& cache_link() const { return *cache_links_[0]; }
   Link& source_link(int source_index);
   int num_sources() const { return static_cast<int>(source_links_.size()); }
+  int num_caches() const { return static_cast<int>(cache_links_.size()); }
 
-  /// Deposits a cache -> source control message; it becomes available via
-  /// TakeSourceMail() at the next tick.
+  /// Deposits a cache -> source control message from `cache_id`; it becomes
+  /// available via TakeSourceMail() at the next tick.
+  void SendToSource(int cache_id, int source_index, Message message);
+  /// Single-cache convenience: sends from cache 0.
   void SendToSource(int source_index, Message message);
 
-  /// Drains the control messages deliverable to `source_index` this tick.
+  /// Drains the control messages deliverable from `cache_id` to
+  /// `source_index` this tick.
+  std::vector<Message> TakeSourceMail(int cache_id, int source_index);
+  /// Single-cache convenience: drains mail from cache 0.
   std::vector<Message> TakeSourceMail(int source_index);
 
   /// Resets link statistics (end of warm-up).
@@ -53,10 +72,13 @@ class Network {
   const NetworkConfig& config() const { return config_; }
 
  private:
+  size_t MailSlot(int cache_id, int source_index) const;
+
   NetworkConfig config_;
-  std::unique_ptr<Link> cache_link_;
+  std::vector<std::unique_ptr<Link>> cache_links_;
   std::vector<std::unique_ptr<Link>> source_links_;
-  // Control-channel double buffer: deposited this tick, delivered next tick.
+  // Control-channel double buffer keyed by (cache, source): deposited this
+  // tick, delivered next tick. Slot = cache_id * num_sources + source.
   std::vector<std::vector<Message>> mail_incoming_;
   std::vector<std::vector<Message>> mail_deliverable_;
 };

@@ -46,9 +46,11 @@ void LazyMaxHeap::Restore(const QueueEntry& entry) {
 }
 
 void LazyMaxHeap::Compact(const EpochFn& current_epoch) {
-  std::erase_if(entries_, [&current_epoch](const QueueEntry& entry) {
-    return entry.epoch != current_epoch(entry.index);
-  });
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&current_epoch](const QueueEntry& entry) {
+                                  return entry.epoch != current_epoch(entry.index);
+                                }),
+                 entries_.end());
   std::make_heap(entries_.begin(), entries_.end(), KeyLess);
 }
 

@@ -143,6 +143,52 @@ TEST(NetworkTest, ControlMailDeliveredNextTick) {
   EXPECT_TRUE(network.TakeSourceMail(0).empty());
 }
 
+TEST(NetworkTest, ControlMailInvisibleUntilNextTickAndDrainedOnce) {
+  // The double-buffer contract in one place: a deposit during tick t is
+  // invisible for the whole of tick t (even across multiple reads), becomes
+  // deliverable exactly at tick t+1, is drained exactly once, and does not
+  // reappear at tick t+2.
+  NetworkConfig config;
+  config.num_sources = 1;
+  config.cache_bandwidth_avg = 5.0;
+  Rng rng(1);
+  Network network(config, &rng);
+
+  network.BeginTick(0.0, 1.0);
+  Message feedback;
+  feedback.kind = MessageKind::kFeedback;
+  network.SendToSource(0, feedback);
+  network.SendToSource(0, feedback);      // two deposits in the same tick
+  EXPECT_TRUE(network.TakeSourceMail(0).empty());
+  EXPECT_TRUE(network.TakeSourceMail(0).empty());  // still invisible
+
+  network.BeginTick(1.0, 1.0);
+  EXPECT_EQ(network.TakeSourceMail(0).size(), 2u);  // both, exactly once
+  EXPECT_TRUE(network.TakeSourceMail(0).empty());
+
+  network.BeginTick(2.0, 1.0);
+  EXPECT_TRUE(network.TakeSourceMail(0).empty());  // gone for good
+}
+
+TEST(NetworkTest, UndrainedMailSurvivesIntoLaterTicks) {
+  // A tick that never drains its mail must not lose it: deliverable mail
+  // accumulates until the source reads it.
+  NetworkConfig config;
+  config.num_sources = 1;
+  config.cache_bandwidth_avg = 5.0;
+  Rng rng(1);
+  Network network(config, &rng);
+
+  network.BeginTick(0.0, 1.0);
+  Message feedback;
+  feedback.kind = MessageKind::kFeedback;
+  network.SendToSource(0, feedback);
+  network.BeginTick(1.0, 1.0);  // deliverable, but nobody drains
+  network.SendToSource(0, feedback);
+  network.BeginTick(2.0, 1.0);
+  EXPECT_EQ(network.TakeSourceMail(0).size(), 2u);
+}
+
 TEST(NetworkTest, FluctuatingBandwidthAverages) {
   NetworkConfig config;
   config.num_sources = 1;

@@ -78,6 +78,29 @@ TEST(ThresholdControllerTest, ClampsAtBounds) {
   EXPECT_DOUBLE_EQ(controller.threshold(), 100.0);
 }
 
+TEST(ThresholdControllerTest, DeltaFactorClampsAtMaxThresholdBoundary) {
+  // The flooding accelerator delta can be arbitrarily large when feedback is
+  // long overdue; the resulting multiplicative increase must saturate
+  // exactly at max_threshold instead of running away.
+  ThresholdConfig config = DefaultConfig();
+  config.max_threshold = 50.0;
+  ThresholdController controller(config, /*expected_feedback_period=*/1.0, 0.0);
+  // Feedback overdue by 1e6 periods: delta alone would put the threshold at
+  // 1.1e6, far beyond the clamp.
+  EXPECT_DOUBLE_EQ(controller.DeltaFactor(1e6), 1e6);
+  controller.OnRefreshSent(1e6);
+  EXPECT_DOUBLE_EQ(controller.threshold(), 50.0);
+  // Pinned at the boundary: further overdue increases stay put...
+  controller.OnRefreshSent(2e6);
+  EXPECT_DOUBLE_EQ(controller.threshold(), 50.0);
+  // ...and DeltaFactor itself keeps reporting the raw ratio (it is the
+  // threshold that clamps, not the accelerator).
+  EXPECT_GT(controller.DeltaFactor(3e6), 1.0);
+  // One feedback steps down from the boundary by exactly omega.
+  controller.OnFeedback(3e6, /*at_full_capacity=*/false);
+  EXPECT_DOUBLE_EQ(controller.threshold(), 5.0);
+}
+
 TEST(ThresholdControllerTest, SetThresholdOverrides) {
   ThresholdController controller(DefaultConfig(), 10.0, 0.0);
   controller.SetThreshold(42.0);
