@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/runner.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
@@ -16,15 +17,19 @@ namespace besync {
 /// Common command-line surface of every experiment binary:
 ///   --full        run the paper-scale sweep (default: scaled-down)
 ///   --csv <path>  also dump the result table as CSV
+///   --json <path> dump raw per-job RunResults as JSON (exp/runner.h schema)
+///   --threads <n> experiment-runner worker threads (0 = hardware cores)
 ///   --seed <n>    workload seed override
 struct BenchOptions {
   bool full = false;
   std::string csv;
+  std::string json;
+  int threads = 1;
   uint64_t seed = 1;
 
   static BenchOptions Parse(int argc, char** argv,
                             std::vector<std::string> extra_flags = {}) {
-    std::vector<std::string> known{"full", "csv", "seed"};
+    std::vector<std::string> known{"full", "csv", "json", "threads", "seed"};
     for (auto& flag : extra_flags) known.push_back(std::move(flag));
     Flags flags;
     const Status status = Flags::Parse(argc, argv, known, &flags);
@@ -35,8 +40,18 @@ struct BenchOptions {
     BenchOptions options;
     options.full = flags.GetBool("full", false);
     options.csv = flags.GetString("csv", "");
+    options.json = flags.GetString("json", "");
+    options.threads = static_cast<int>(flags.GetInt("threads", 1));
     options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
     options.flags = flags;
+    return options;
+  }
+
+  /// RunnerOptions carrying this invocation's --threads.
+  RunnerOptions runner(std::string progress_label) const {
+    RunnerOptions options;
+    options.threads = threads;
+    options.progress_label = std::move(progress_label);
     return options;
   }
 
@@ -52,6 +67,33 @@ inline void EmitTable(const TablePrinter& table, const BenchOptions& options) {
       std::fprintf(stderr, "CSV write failed: %s\n", status.ToString().c_str());
     } else {
       std::fprintf(stderr, "wrote %s\n", options.csv.c_str());
+    }
+  }
+}
+
+/// Writes the raw runner results to --json when requested (BENCH_*.json
+/// trajectory tracking; byte-identical at any --threads). Exits nonzero
+/// when the requested output cannot be written — a caller scripting
+/// trajectory capture must not mistake a silent no-op for success.
+inline void EmitJson(const std::vector<JobResult>& results,
+                     const BenchOptions& options) {
+  if (options.json.empty()) return;
+  const Status status = WriteResultsJson(options.json, results);
+  if (!status.ok()) {
+    std::fprintf(stderr, "JSON write failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "wrote %s\n", options.json.c_str());
+}
+
+/// Exits nonzero on the first failed job, printing its name and status —
+/// the bench equivalent of BESYNC_CHECK_OK per job.
+inline void CheckJobsOk(const std::vector<JobResult>& results) {
+  for (const JobResult& job : results) {
+    if (!job.status.ok()) {
+      std::fprintf(stderr, "job '%s' failed: %s\n", job.name.c_str(),
+                   job.status.ToString().c_str());
+      std::exit(1);
     }
   }
 }

@@ -70,11 +70,15 @@ int Run(const BenchOptions& options) {
     }
   }
 
-  TablePrinter table({"metric", "m", "n", "B_S", "B_C", "mB", "ideal_divergence",
-                      "ours_divergence", "ratio"});
-  SweepProgress progress("fig4", static_cast<int>(configs.size()) * 3);
-  for (MetricKind metric : {MetricKind::kValueDeviation, MetricKind::kLag,
-                            MetricKind::kStaleness}) {
+  // Two runner jobs per (metric, configuration): the ideal oracle at 2k and
+  // our algorithm at 2k+1. The pair no longer shares one Workload object
+  // (jobs may run concurrently — see the hazard note in exp/runner.h); both
+  // jobs carry the identical WorkloadConfig instead, which reproduces the
+  // same update streams deterministically.
+  const MetricKind metrics[] = {MetricKind::kValueDeviation, MetricKind::kLag,
+                                MetricKind::kStaleness};
+  std::vector<ExperimentJob> jobs;
+  for (MetricKind metric : metrics) {
     for (const Config& c : configs) {
       ExperimentConfig config;
       config.metric = metric;
@@ -94,28 +98,39 @@ int Run(const BenchOptions& options) {
       config.source_bandwidth_avg = c.source_bw;
       config.bandwidth_change_rate = c.change_rate;
 
-      Workload workload = std::move(MakeWorkload(config.workload)).ValueOrDie();
-
+      const std::string key = std::string(MetricKindToString(metric)) +
+                              ",m=" + std::to_string(c.m) +
+                              ",n=" + std::to_string(c.n) +
+                              ",B_C=" + TablePrinter::Cell(c.cache_bw) +
+                              ",B_S=" + TablePrinter::Cell(c.source_bw) +
+                              ",mB=" + TablePrinter::Cell(c.change_rate);
       config.scheduler = SchedulerKind::kIdealCooperative;
-      auto ideal = RunExperimentOnWorkload(config, &workload);
-      BESYNC_CHECK_OK(ideal.status());
-
+      jobs.push_back(ExperimentJob{"ideal," + key, config});
       config.scheduler = SchedulerKind::kCooperative;
-      auto ours = RunExperimentOnWorkload(config, &workload);
-      BESYNC_CHECK_OK(ours.status());
+      jobs.push_back(ExperimentJob{"ours," + key, config});
+    }
+  }
 
-      const double x = ideal->total_weighted_divergence;
-      const double y = ours->total_weighted_divergence;
+  const std::vector<JobResult> results = RunExperiments(jobs, options.runner("fig4"));
+  CheckJobsOk(results);
+  EmitJson(results, options);
+
+  TablePrinter table({"metric", "m", "n", "B_S", "B_C", "mB", "ideal_divergence",
+                      "ours_divergence", "ratio"});
+  size_t k = 0;
+  for (MetricKind metric : metrics) {
+    for (const Config& c : configs) {
+      const double x = results[k].result.total_weighted_divergence;
+      const double y = results[k + 1].result.total_weighted_divergence;
+      k += 2;
       const double ratio = x > 1e-9 ? y / x : (y < 1e-9 ? 1.0 : 99.0);
       table.AddRow({MetricKindToString(metric), TablePrinter::Cell(c.m),
                     TablePrinter::Cell(c.n), TablePrinter::Cell(c.source_bw),
                     TablePrinter::Cell(c.cache_bw),
                     TablePrinter::Cell(c.change_rate), TablePrinter::Cell(x),
                     TablePrinter::Cell(y), TablePrinter::Cell(ratio)});
-      progress.Step();
     }
   }
-  progress.Finish();
   EmitTable(table, options);
   return 0;
 }

@@ -11,6 +11,8 @@
 // at every bandwidth fraction, with the cooperative advantage largest in
 // the mid-bandwidth range.
 
+#include <iterator>
+
 #include "bench_common.h"
 #include "exp/experiment.h"
 #include "exp/sweep.h"
@@ -35,11 +37,12 @@ int Run(const BenchOptions& options) {
       SchedulerKind::kIdealCooperative, SchedulerKind::kCooperative,
       SchedulerKind::kIdealCacheBased, SchedulerKind::kCGM1, SchedulerKind::kCGM2};
 
-  TablePrinter table({"m", "bandwidth_fraction", "ideal_cooperative",
-                      "our_algorithm", "ideal_cache_based", "cgm1", "cgm2"});
+  // Five runner jobs per (m, fraction) — one per curve. The five no longer
+  // share one Workload object (jobs may run concurrently — see the hazard
+  // note in exp/runner.h); they carry the identical WorkloadConfig, which
+  // reproduces the same update streams deterministically.
+  std::vector<ExperimentJob> jobs;
   for (int m : ms) {
-    SweepProgress progress("fig6 m=" + std::to_string(m),
-                           static_cast<int>(fractions.size()) * 5);
     for (double fraction : fractions) {
       ExperimentConfig config;
       config.metric = MetricKind::kStaleness;
@@ -59,20 +62,32 @@ int Run(const BenchOptions& options) {
       config.source_bandwidth_avg = -1.0;  // unconstrained, per the paper
       config.bandwidth_change_rate = 0.0;
 
-      Workload workload = std::move(MakeWorkload(config.workload)).ValueOrDie();
-
-      std::vector<std::string> row{TablePrinter::Cell(m),
-                                   TablePrinter::Cell(fraction)};
       for (SchedulerKind kind : kinds) {
         config.scheduler = kind;
-        auto result = RunExperimentOnWorkload(config, &workload);
-        BESYNC_CHECK_OK(result.status());
-        row.push_back(TablePrinter::Cell(result->per_object_unweighted));
-        progress.Step();
+        jobs.push_back(ExperimentJob{SchedulerKindToString(kind) +
+                                         ",m=" + std::to_string(m) + ",frac=" +
+                                         TablePrinter::Cell(fraction),
+                                     config});
+      }
+    }
+  }
+
+  const std::vector<JobResult> results = RunExperiments(jobs, options.runner("fig6"));
+  CheckJobsOk(results);
+  EmitJson(results, options);
+
+  TablePrinter table({"m", "bandwidth_fraction", "ideal_cooperative",
+                      "our_algorithm", "ideal_cache_based", "cgm1", "cgm2"});
+  size_t k = 0;
+  for (int m : ms) {
+    for (double fraction : fractions) {
+      std::vector<std::string> row{TablePrinter::Cell(m),
+                                   TablePrinter::Cell(fraction)};
+      for (size_t curve = 0; curve < std::size(kinds); ++curve) {
+        row.push_back(TablePrinter::Cell(results[k++].result.per_object_unweighted));
       }
       table.AddRow(std::move(row));
     }
-    progress.Finish();
   }
   EmitTable(table, options);
   return 0;

@@ -24,6 +24,7 @@ int Run(const BenchOptions& options) {
             << "popular objects replicated at several caches.\n\n";
 
   MulticacheConfig config;
+  config.threads = options.threads;
   config.base.workload.num_sources = options.full ? 64 : 16;
   config.base.workload.objects_per_source = options.full ? 25 : 10;
   config.base.workload.rate_lo = 0.0;
@@ -40,7 +41,11 @@ int Run(const BenchOptions& options) {
   config.patterns = {InterestPattern::kPartitionedBySource,
                      InterestPattern::kZipfOverlap};
 
-  auto points = RunMulticacheSweep(config);
+  // Per-point wall times below are measured inside worker threads; with
+  // --threads > 1 they overlap, so compare them only at --threads=1.
+  std::vector<JobResult> raw_results;
+  auto points = RunMulticacheSweep(config, &raw_results);
+  EmitJson(raw_results, options);
   if (!points.ok()) {
     std::fprintf(stderr, "%s\n", points.status().ToString().c_str());
     return 1;

@@ -39,10 +39,15 @@ int Run(const BenchOptions& options) {
                    : std::vector<double>{2.0, 10.0, 50.0};
 
   // A mid-contention configuration with fluctuating weights and bandwidth —
-  // the regime where threshold adaptation actually matters.
-  auto run_cell = [&](double alpha, double omega, MetricKind metric,
-                      uint64_t seed) {
-    ExperimentConfig config;
+  // the regime where threshold adaptation actually matters. One runner job
+  // per (alpha, omega, metric); each builds its own workload, which is
+  // bit-identical across cells sharing a seed (see exp/runner.h).
+  auto make_cell_job = [&](double alpha, double omega, MetricKind metric) {
+    ExperimentJob job;
+    job.name = "alpha=" + TablePrinter::Cell(alpha) +
+               ",omega=" + TablePrinter::Cell(omega) + "," +
+               MetricKindToString(metric);
+    ExperimentConfig& config = job.config;
     config.scheduler = SchedulerKind::kCooperative;
     config.metric = metric;
     config.workload.num_sources = options.full ? 100 : 20;
@@ -50,7 +55,7 @@ int Run(const BenchOptions& options) {
     config.workload.rate_lo = 0.0;
     config.workload.rate_hi = 1.0;
     config.workload.weight_fluctuation_amplitude = 0.5;
-    config.workload.seed = seed;
+    config.workload.seed = options.seed;
     config.harness.warmup = 200.0;
     config.harness.measure = options.full ? 5000.0 : 1200.0;
     config.cache_bandwidth_avg =
@@ -59,33 +64,39 @@ int Run(const BenchOptions& options) {
     config.bandwidth_change_rate = 0.05;
     config.threshold.increase = alpha;
     config.threshold.decrease = omega;
-    auto result = RunExperiment(config);
-    BESYNC_CHECK_OK(result.status());
-    return result->total_weighted_divergence;
+    return job;
   };
 
-  SweepProgress progress("param sweep",
-                         static_cast<int>(alphas.size() * omegas.size()));
+  const MetricKind metrics[] = {MetricKind::kStaleness, MetricKind::kLag,
+                                MetricKind::kValueDeviation};
+  std::vector<ExperimentJob> jobs;
+  for (double alpha : alphas) {
+    for (double omega : omegas) {
+      for (MetricKind metric : metrics) {
+        jobs.push_back(make_cell_job(alpha, omega, metric));
+      }
+    }
+  }
+
+  const std::vector<JobResult> results =
+      RunExperiments(jobs, options.runner("param sweep"));
+  CheckJobsOk(results);
+  EmitJson(results, options);
+
   std::vector<Cell> cells;
   double best = std::numeric_limits<double>::infinity();
+  size_t k = 0;
   for (double alpha : alphas) {
     for (double omega : omegas) {
       Cell cell{alpha, omega};
-      // Average across the three metrics (normalized per metric later).
-      double total = 0.0;
-      for (MetricKind metric : {MetricKind::kStaleness, MetricKind::kLag,
-                                MetricKind::kValueDeviation}) {
-        // Normalize each metric by a fixed reference run (alpha=1.1/omega=10
-        // values differ wildly in scale across metrics).
-        total += run_cell(alpha, omega, metric, options.seed);
+      // Sum across the three metrics (normalized to the best cell later).
+      for (size_t metric = 0; metric < 3; ++metric) {
+        cell.divergence += results[k++].result.total_weighted_divergence;
       }
-      cell.divergence = total;
       best = std::min(best, cell.divergence);
       cells.push_back(cell);
-      progress.Step();
     }
   }
-  progress.Finish();
 
   TablePrinter table({"alpha", "omega", "divergence_sum", "normalized"});
   for (const Cell& cell : cells) {

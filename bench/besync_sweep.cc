@@ -1,0 +1,214 @@
+// besync_sweep: the general policy x topology x bandwidth grid runner.
+//
+// Runs the full cross product of
+//   --schedulers   (cooperative, ideal-cooperative, ideal-cache-based,
+//                   cgm1, cgm2, round-robin)
+//   --policies     (area, naive, poisson-staleness, poisson-lag, bound,
+//                   area-history)
+//   --caches       (cache counts; N > 1 uses the partitioned interest map)
+//   --bandwidths   (per-cache average B_C, messages/second)
+//   --loss_rates   (cache-link loss probabilities; cooperative only)
+// on the parallel experiment runner (--threads=N workers, 0 = all cores),
+// printing a summary table and optionally dumping machine-readable output
+// (--json PATH, --csv PATH). The default grid is 1 x 3 x 3 x 4 x 2 = 72
+// configurations sized to finish in seconds.
+//
+// Deterministic by construction: each job builds its own workload from a
+// seed derived only from (--seed, cache count) — jobs differing in
+// scheduler, policy, bandwidth, or loss rate therefore score identical
+// update streams, and the JSON output is byte-identical at any --threads
+// (timings are excluded from it). See exp/runner.h for the workload-sharing
+// hazard that shapes this design.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/runner.h"
+#include "util/thread_pool.h"
+
+namespace besync {
+namespace {
+
+std::vector<std::string> SplitList(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    const size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) parts.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+std::vector<double> ParseDoubleList(const std::string& flag, const std::string& text) {
+  std::vector<double> values;
+  for (const std::string& part : SplitList(text)) {
+    char* end = nullptr;
+    const double value = std::strtod(part.c_str(), &end);
+    if (end == part.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--%s: not a number: '%s'\n", flag.c_str(), part.c_str());
+      std::exit(2);
+    }
+    values.push_back(value);
+  }
+  if (values.empty()) {
+    std::fprintf(stderr, "--%s: empty list\n", flag.c_str());
+    std::exit(2);
+  }
+  return values;
+}
+
+std::vector<int> ParseIntList(const std::string& flag, const std::string& text) {
+  std::vector<int> values;
+  for (double value : ParseDoubleList(flag, text)) values.push_back(static_cast<int>(value));
+  return values;
+}
+
+SchedulerKind ParseScheduler(const std::string& name) {
+  static const SchedulerKind kinds[] = {
+      SchedulerKind::kCooperative,    SchedulerKind::kIdealCooperative,
+      SchedulerKind::kIdealCacheBased, SchedulerKind::kCGM1,
+      SchedulerKind::kCGM2,           SchedulerKind::kRoundRobin};
+  for (SchedulerKind kind : kinds) {
+    if (SchedulerKindToString(kind) == name) return kind;
+  }
+  std::fprintf(stderr, "--schedulers: unknown scheduler '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+PolicyKind ParsePolicy(const std::string& name) {
+  static const PolicyKind kinds[] = {PolicyKind::kArea,      PolicyKind::kNaive,
+                                     PolicyKind::kPoissonStaleness,
+                                     PolicyKind::kPoissonLag, PolicyKind::kBound,
+                                     PolicyKind::kAreaHistory};
+  for (PolicyKind kind : kinds) {
+    if (PolicyKindToString(kind) == name) return kind;
+  }
+  std::fprintf(stderr, "--policies: unknown policy '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+/// Only the cooperative schedulers consult the priority policy; for the
+/// rest, sweeping policies would duplicate identical runs.
+bool PolicySensitive(SchedulerKind kind) {
+  return kind == SchedulerKind::kCooperative ||
+         kind == SchedulerKind::kIdealCooperative;
+}
+
+/// Cache-link loss is modeled only by the real cooperative protocol (see
+/// MakeScheduler); other schedulers would re-run identical simulations and
+/// emit JSON rows misattributing the unchanged result to a loss rate.
+bool LossSensitive(SchedulerKind kind) { return kind == SchedulerKind::kCooperative; }
+
+int Run(const BenchOptions& options) {
+  std::vector<SchedulerKind> schedulers;
+  for (const std::string& name :
+       SplitList(options.flags.GetString("schedulers", "cooperative"))) {
+    schedulers.push_back(ParseScheduler(name));
+  }
+  std::vector<PolicyKind> policies;
+  for (const std::string& name :
+       SplitList(options.flags.GetString("policies", "area,naive,bound"))) {
+    policies.push_back(ParsePolicy(name));
+  }
+  const std::vector<int> cache_counts =
+      ParseIntList("caches", options.flags.GetString("caches", "1,2,4"));
+  const std::vector<double> bandwidths = ParseDoubleList(
+      "bandwidths", options.flags.GetString("bandwidths", "8,16,32,64"));
+  const std::vector<double> loss_rates =
+      ParseDoubleList("loss_rates", options.flags.GetString("loss_rates", "0,0.05"));
+
+  ExperimentConfig base;
+  base.metric = MetricKind::kValueDeviation;
+  base.workload.num_sources =
+      static_cast<int>(options.flags.GetInt("sources", options.full ? 32 : 8));
+  base.workload.objects_per_source =
+      static_cast<int>(options.flags.GetInt("objects", options.full ? 25 : 10));
+  base.workload.rate_lo = 0.0;
+  base.workload.rate_hi = 1.0;
+  base.harness.warmup = options.flags.GetDouble("warmup", 100.0);
+  base.harness.measure =
+      options.flags.GetDouble("measure", options.full ? 5000.0 : 1000.0);
+  base.source_bandwidth_avg = -1.0;  // unconstrained; the grid varies B_C
+
+  std::vector<ExperimentJob> jobs;
+  int skipped = 0;
+  for (SchedulerKind scheduler : schedulers) {
+    const int num_policies =
+        PolicySensitive(scheduler) ? static_cast<int>(policies.size()) : 1;
+    for (int p = 0; p < num_policies; ++p) {
+      for (int num_caches : cache_counts) {
+        // Multi-cache topologies are a cooperative-protocol feature; the
+        // baseline schedulers model the paper's single-cache star only.
+        if (num_caches > 1 && scheduler != SchedulerKind::kCooperative) {
+          ++skipped;
+          continue;
+        }
+        for (double bandwidth : bandwidths) {
+          const int num_losses =
+              LossSensitive(scheduler) ? static_cast<int>(loss_rates.size()) : 1;
+          for (int l = 0; l < num_losses; ++l) {
+            const double loss_rate = LossSensitive(scheduler) ? loss_rates[l] : 0.0;
+            ExperimentJob job;
+            job.config = base;
+            job.config.scheduler = scheduler;
+            job.config.policy = policies[p];
+            job.config.workload.num_caches = num_caches;
+            job.config.workload.interest_pattern =
+                num_caches == 1 ? InterestPattern::kSingleCache
+                                : InterestPattern::kPartitionedBySource;
+            // Same topology => same workload stream: scheduler/policy/
+            // bandwidth/loss points are scored on identical update streams.
+            job.config.workload.seed =
+                DeriveJobSeed(options.seed, static_cast<uint64_t>(num_caches));
+            job.config.cache_bandwidth_avg = bandwidth;
+            job.config.loss_rate = loss_rate;
+            job.name = SchedulerKindToString(scheduler) + "," +
+                       (PolicySensitive(scheduler)
+                            ? PolicyKindToString(policies[p])
+                            : std::string("-")) +
+                       ",N=" + std::to_string(num_caches) +
+                       ",B=" + TablePrinter::Cell(bandwidth) + ",loss=" +
+                       (LossSensitive(scheduler) ? TablePrinter::Cell(loss_rate)
+                                                 : std::string("-"));
+            jobs.push_back(std::move(job));
+          }
+        }
+      }
+    }
+  }
+
+  std::fprintf(stderr, "besync_sweep: %d configurations on %d thread(s)%s\n",
+               static_cast<int>(jobs.size()),
+               options.threads <= 0 ? ThreadPool::HardwareThreads() : options.threads,
+               skipped > 0 ? " (multi-cache baseline combos skipped)" : "");
+
+  const std::vector<JobResult> results = RunExperiments(jobs, options.runner("sweep"));
+
+  EmitTable(ResultsTable(results), options);
+  EmitJson(results, options);
+  int failures = 0;
+  for (const JobResult& job : results) {
+    if (!job.status.ok()) {
+      std::fprintf(stderr, "job '%s' failed: %s\n", job.name.c_str(),
+                   job.status.ToString().c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace besync
+
+int main(int argc, char** argv) {
+  return besync::Run(besync::BenchOptions::Parse(
+      argc, argv,
+      {"schedulers", "policies", "caches", "bandwidths", "loss_rates", "sources",
+       "objects", "warmup", "measure"}));
+}

@@ -140,6 +140,8 @@ void CGMScheduler::OnMeasurementStart(double /*t*/) {
   cache_link_->ResetStats();
 }
 
+void CGMScheduler::Finalize(double /*t*/) { cache_link_->FinishTick(); }
+
 SchedulerStats CGMScheduler::stats() const {
   SchedulerStats stats;
   stats.polls_sent = polls_sent_;

@@ -59,6 +59,8 @@ class CGMScheduler : public Scheduler {
   void OnObjectUpdate(ObjectIndex /*index*/, double /*t*/) override {}
   void Tick(double t) override;
   void OnMeasurementStart(double t) override;
+  /// Flushes the last tick into the cache link's utilization stat.
+  void Finalize(double t) override;
   SchedulerStats stats() const override;
 
   /// Current rate estimate for an object (tests).

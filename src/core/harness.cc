@@ -6,6 +6,11 @@
 
 namespace besync {
 
+double NextWeightRefreshDeadline(double t, double interval) {
+  BESYNC_CHECK_GT(interval, 0.0);
+  return (std::floor(t / interval) + 1.0) * interval;
+}
+
 Harness::Harness(const Workload* workload, const DivergenceMetric* metric,
                  const HarnessConfig& config)
     : workload_(workload),
@@ -141,7 +146,11 @@ Status Harness::Run(Scheduler* scheduler) {
       for (GroundTruth* ground_truth : ground_truths_) {
         ground_truth->RefreshWeights(next);
       }
-      next_weight_refresh += config_.weight_refresh_interval;
+      // Catch up past every interval boundary the tick crossed: a fixed
+      // `+= interval` falls unboundedly behind `t` when
+      // tick_length > weight_refresh_interval.
+      next_weight_refresh =
+          NextWeightRefreshDeadline(next, config_.weight_refresh_interval);
     }
     if (!measuring && next >= config_.warmup) {
       for (GroundTruth* ground_truth : ground_truths_) {

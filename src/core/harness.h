@@ -21,6 +21,13 @@ namespace besync {
 class Harness;
 class Scheduler;
 
+/// First multiple of `interval` strictly after `t`: the deadline for the
+/// next periodic weight refresh. Always > t, and by no more than `interval`,
+/// no matter how many interval boundaries the last tick crossed — the
+/// catch-up that an incremental `deadline += interval` lacks when ticks are
+/// longer than the interval.
+double NextWeightRefreshDeadline(double t, double interval);
+
 /// Timing and measurement parameters shared by all schedulers.
 struct HarnessConfig {
   /// Scheduling/network tick length in (simulated) seconds. The paper's

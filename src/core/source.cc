@@ -124,11 +124,35 @@ double SourceAgent::ChannelSourcePriority(const Channel& channel, ObjectIndex in
 }
 
 double SourceAgent::ComputePriority(ObjectIndex index, double now) const {
+  // Channel 0's view is only *the* priority when it is the only channel: on
+  // a multi-cache source the per-replica trackers and thresholds disagree,
+  // so silently answering from channels_.front() would be wrong for every
+  // other cache. Multi-channel callers must name the channel.
+  BESYNC_CHECK_EQ(num_channels(), 1)
+      << "ComputePriority(index, now) is single-channel only; source " << index_
+      << " has " << num_channels() << " cache channels — use the channel overload";
   return ChannelPriority(channels_.front(), index, now);
 }
 
+double SourceAgent::ComputePriority(ObjectIndex index, double now, int channel) const {
+  BESYNC_CHECK_GE(channel, 0);
+  BESYNC_CHECK_LT(channel, num_channels());
+  return ChannelPriority(channels_[channel], index, now);
+}
+
 double SourceAgent::ComputeSourcePriority(ObjectIndex index, double now) const {
+  BESYNC_CHECK_EQ(num_channels(), 1)
+      << "ComputeSourcePriority(index, now) is single-channel only; source "
+      << index_ << " has " << num_channels()
+      << " cache channels — use the channel overload";
   return ChannelSourcePriority(channels_.front(), index, now);
+}
+
+double SourceAgent::ComputeSourcePriority(ObjectIndex index, double now,
+                                          int channel) const {
+  BESYNC_CHECK_GE(channel, 0);
+  BESYNC_CHECK_LT(channel, num_channels());
+  return ChannelSourcePriority(channels_[channel], index, now);
 }
 
 void SourceAgent::Start(Simulation* sim, double tick_length) {

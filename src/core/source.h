@@ -127,12 +127,17 @@ class SourceAgent {
   /// Resets statistics counters (measurement start).
   void ResetCounters() { refreshes_sent_ = 0; }
 
-  /// Current weighted priority of an object under this agent's policy, as
-  /// seen by channel 0 (exact for single-cache topologies).
+  /// Current weighted priority of an object under this agent's policy.
+  /// The channel-less form is valid only on single-channel sources (checked):
+  /// a multi-cache source has one tracker and threshold per cache channel,
+  /// so "the" priority of an object is ill-defined without naming one.
   double ComputePriority(ObjectIndex index, double now) const;
+  double ComputePriority(ObjectIndex index, double now, int channel) const;
 
-  /// Priority under the source's own weighting scheme (Section 7).
+  /// Priority under the source's own weighting scheme (Section 7); same
+  /// single-channel restriction / channel overload as ComputePriority.
   double ComputeSourcePriority(ObjectIndex index, double now) const;
+  double ComputeSourcePriority(ObjectIndex index, double now, int channel) const;
 
  private:
   struct LocalState {

@@ -163,6 +163,8 @@ void CooperativeScheduler::OnMeasurementStart(double /*t*/) {
   for (auto& source : sources_) source->ResetCounters();
 }
 
+void CooperativeScheduler::Finalize(double /*t*/) { network_->FinishTick(); }
+
 SchedulerStats CooperativeScheduler::stats() const {
   SchedulerStats stats;
   int64_t channels = 0;
@@ -216,6 +218,7 @@ Result<RunResult> RunScheduler(const Workload* workload, const DivergenceMetric*
   }
   result.per_object_weighted = harness.ground_truth().PerObjectWeightedAverage();
   result.per_object_unweighted = harness.ground_truth().PerObjectUnweightedAverage();
+  result.total_replicas = harness.ground_truth().total_replicas();
   result.scheduler = scheduler->stats();
   return result;
 }

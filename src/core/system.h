@@ -71,6 +71,8 @@ class CooperativeScheduler : public Scheduler {
   void OnObjectUpdate(ObjectIndex index, double t) override;
   void Tick(double t) override;
   void OnMeasurementStart(double t) override;
+  /// Flushes the last tick into the link utilization stats.
+  void Finalize(double t) override;
   SchedulerStats stats() const override;
 
   // Introspection (tests, competitive subclass).
@@ -116,6 +118,8 @@ struct RunResult {
   /// Per-replica weighted / unweighted averages.
   double per_object_weighted = 0.0;
   double per_object_unweighted = 0.0;
+  /// Number of (object, cache) replicas the objective sums over.
+  int64_t total_replicas = 0;
   SchedulerStats scheduler;
 };
 

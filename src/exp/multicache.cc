@@ -1,43 +1,56 @@
 #include "exp/multicache.h"
 
-#include <chrono>
+#include "exp/runner.h"
 
 namespace besync {
 
 Result<std::vector<MulticachePoint>> RunMulticacheSweep(
-    const MulticacheConfig& config) {
-  std::vector<MulticachePoint> points;
+    const MulticacheConfig& config, std::vector<JobResult>* raw_results) {
+  // One runner job per (pattern, cache count), pattern-major. Each job
+  // builds its own workload (see the sharing hazard in exp/runner.h), so
+  // points are safe to run concurrently.
+  std::vector<ExperimentJob> jobs;
   for (InterestPattern pattern : config.patterns) {
     for (int num_caches : config.cache_counts) {
       if (num_caches < 1) {
         return Status::InvalidArgument("cache_counts entries must be >= 1");
       }
-      ExperimentConfig experiment = config.base;
-      experiment.scheduler = SchedulerKind::kCooperative;
-      experiment.workload.num_caches = num_caches;
+      ExperimentJob job;
+      job.name = InterestPatternToString(pattern) + "/N=" + std::to_string(num_caches);
+      job.config = config.base;
+      job.config.scheduler = SchedulerKind::kCooperative;
+      job.config.workload.num_caches = num_caches;
       // Any pattern degenerates to the paper's topology at one cache; keep
       // the sweep uniform by mapping N=1 onto the canonical single-cache
       // pattern (identical interest map, no generator divergence).
-      experiment.workload.interest_pattern =
+      job.config.workload.interest_pattern =
           num_caches == 1 ? InterestPattern::kSingleCache : pattern;
       if (!config.bandwidth_per_cache) {
-        experiment.cache_bandwidth_avg =
+        job.config.cache_bandwidth_avg =
             config.base.cache_bandwidth_avg / static_cast<double>(num_caches);
       }
+      jobs.push_back(std::move(job));
+    }
+  }
 
-      Workload workload;
-      BESYNC_ASSIGN_OR_RETURN(workload, MakeWorkload(experiment.workload));
+  RunnerOptions options;
+  options.threads = config.threads;
+  const std::vector<JobResult> results = RunExperiments(jobs, options);
+  if (raw_results != nullptr) *raw_results = results;
 
+  std::vector<MulticachePoint> points;
+  points.reserve(results.size());
+  size_t k = 0;
+  for (InterestPattern pattern : config.patterns) {
+    for (int num_caches : config.cache_counts) {
+      const JobResult& job = results[k++];
+      if (!job.status.ok()) return job.status;
       MulticachePoint point;
       point.num_caches = num_caches;
       point.pattern = pattern;
-      point.total_replicas = workload.total_replicas();
-      const auto start = std::chrono::steady_clock::now();
-      BESYNC_ASSIGN_OR_RETURN(point.result,
-                              RunExperimentOnWorkload(experiment, &workload));
-      point.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-              .count();
+      point.total_replicas = job.result.total_replicas;
+      point.result = job.result;
+      point.wall_seconds = job.wall_seconds;
       points.push_back(std::move(point));
     }
   }

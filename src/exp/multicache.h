@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "exp/experiment.h"
+#include "exp/runner.h"
 
 namespace besync {
 
@@ -25,6 +26,9 @@ struct MulticacheConfig {
   /// capacity grows with the topology); false: the base bandwidth is split
   /// evenly across caches (fixed total capacity).
   bool bandwidth_per_cache = true;
+  /// Worker threads for the sweep (each point is an independent job with its
+  /// own private workload); 1 = sequential, <= 0 = hardware concurrency.
+  int threads = 1;
 };
 
 /// One sweep point result.
@@ -39,8 +43,11 @@ struct MulticachePoint {
 };
 
 /// Runs the sweep: one cooperative run per (pattern, cache count) pair, in
-/// pattern-major order.
-Result<std::vector<MulticachePoint>> RunMulticacheSweep(const MulticacheConfig& config);
+/// pattern-major order. When `raw_results` is non-null it receives the
+/// underlying runner JobResults (for WriteResultsJson / --json output),
+/// also in pattern-major order, even when the sweep returns an error.
+Result<std::vector<MulticachePoint>> RunMulticacheSweep(
+    const MulticacheConfig& config, std::vector<JobResult>* raw_results = nullptr);
 
 }  // namespace besync
 

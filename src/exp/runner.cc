@@ -1,0 +1,185 @@
+#include "exp/runner.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "exp/sweep.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace besync {
+namespace {
+
+/// Shortest decimal representation that round-trips to the exact double —
+/// a pure function of the value, so serialized grids are byte-stable.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no NaN/Inf
+  char buffer[32];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+std::string JsonString(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char escape[8];
+          std::snprintf(escape, sizeof(escape), "\\u%04x", c);
+          out += escape;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void RunOneJob(const ExperimentJob& job, JobResult* out) {
+  out->name = job.name;
+  out->config = job.config;
+  const auto start = std::chrono::steady_clock::now();
+  Result<RunResult> result = RunExperiment(job.config);
+  out->wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (result.ok()) {
+    out->result = std::move(result).ValueOrDie();
+  } else {
+    out->status = result.status();
+  }
+}
+
+}  // namespace
+
+uint64_t DeriveJobSeed(uint64_t base, uint64_t index) {
+  // SplitMix64 (Steele et al.) over the combined stream position; never
+  // returns 0 accidentally colliding grids with "unseeded" configs.
+  uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  return z == 0 ? 0x9e3779b97f4a7c15ull : z;
+}
+
+std::vector<JobResult> RunExperiments(const std::vector<ExperimentJob>& jobs,
+                                      const RunnerOptions& options) {
+  std::vector<JobResult> results(jobs.size());
+  SweepProgress progress(options.progress_label.empty() ? "runner"
+                                                        : options.progress_label,
+                         static_cast<int>(jobs.size()));
+  const bool show_progress = !options.progress_label.empty();
+
+  const int threads =
+      options.threads <= 0 ? ThreadPool::HardwareThreads() : options.threads;
+  if (threads == 1 || jobs.size() <= 1) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      RunOneJob(jobs[i], &results[i]);
+      if (show_progress) progress.Step();
+    }
+  } else {
+    // Each task writes only its own result slot; the vector is pre-sized so
+    // no reallocation happens under the workers' feet.
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      pool.Submit([&jobs, &results, &progress, show_progress, i] {
+        RunOneJob(jobs[i], &results[i]);
+        if (show_progress) progress.Step();
+      });
+    }
+    pool.Wait();
+  }
+  if (show_progress) progress.Finish();
+  return results;
+}
+
+void WriteResultsJson(std::ostream& os, const std::vector<JobResult>& results) {
+  os << "{\n  \"schema\": \"besync.run_results.v1\",\n  \"results\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const JobResult& job = results[i];
+    const RunResult& r = job.result;
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": " << JsonString(job.name)
+       << ", \"scheduler\": " << JsonString(SchedulerKindToString(job.config.scheduler))
+       << ", \"policy\": " << JsonString(PolicyKindToString(job.config.policy))
+       << ", \"metric\": " << JsonString(MetricKindToString(job.config.metric))
+       << ", \"num_caches\": " << job.config.workload.num_caches
+       << ", \"cache_bandwidth_avg\": " << JsonNumber(job.config.cache_bandwidth_avg)
+       << ", \"source_bandwidth_avg\": " << JsonNumber(job.config.source_bandwidth_avg)
+       << ", \"loss_rate\": " << JsonNumber(job.config.loss_rate)
+       << ", \"workload_seed\": " << job.config.workload.seed
+       << ", \"ok\": " << (job.status.ok() ? "true" : "false")
+       << ", \"error\": " << JsonString(job.status.ok() ? "" : job.status.ToString())
+       << ",\n     \"total_weighted_divergence\": "
+       << JsonNumber(r.total_weighted_divergence) << ", \"per_cache_weighted\": [";
+    for (size_t c = 0; c < r.per_cache_weighted.size(); ++c) {
+      os << (c == 0 ? "" : ", ") << JsonNumber(r.per_cache_weighted[c]);
+    }
+    os << "], \"per_object_weighted\": " << JsonNumber(r.per_object_weighted)
+       << ", \"per_object_unweighted\": " << JsonNumber(r.per_object_unweighted)
+       << ", \"total_replicas\": " << r.total_replicas
+       << ", \"refreshes_sent\": " << r.scheduler.refreshes_sent
+       << ", \"refreshes_delivered\": " << r.scheduler.refreshes_delivered
+       << ", \"feedback_sent\": " << r.scheduler.feedback_sent
+       << ", \"polls_sent\": " << r.scheduler.polls_sent
+       << ", \"cache_utilization\": " << JsonNumber(r.scheduler.cache_utilization)
+       << "}";
+  }
+  os << (results.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+Status WriteResultsJson(const std::string& path, const std::vector<JobResult>& results) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open ", path);
+  WriteResultsJson(file, results);
+  if (!file.good()) return Status::IOError("write failed for ", path);
+  return Status::OK();
+}
+
+TablePrinter ResultsTable(const std::vector<JobResult>& results) {
+  TablePrinter table({"name", "scheduler", "policy", "caches", "B_C", "B_S", "loss",
+                      "total_div", "per_replica", "delivered", "wall_ms", "status"});
+  for (const JobResult& job : results) {
+    const RunResult& r = job.result;
+    const double per_replica =
+        r.total_replicas > 0
+            ? r.total_weighted_divergence / static_cast<double>(r.total_replicas)
+            : 0.0;
+    table.AddRow({job.name, SchedulerKindToString(job.config.scheduler),
+                  PolicyKindToString(job.config.policy),
+                  TablePrinter::Cell(job.config.workload.num_caches),
+                  TablePrinter::Cell(job.config.cache_bandwidth_avg),
+                  TablePrinter::Cell(job.config.source_bandwidth_avg),
+                  TablePrinter::Cell(job.config.loss_rate),
+                  TablePrinter::Cell(r.total_weighted_divergence),
+                  TablePrinter::Cell(per_replica),
+                  TablePrinter::Cell(r.scheduler.refreshes_delivered),
+                  TablePrinter::Cell(job.wall_seconds * 1e3),
+                  job.status.ok() ? "ok" : job.status.ToString()});
+  }
+  return table;
+}
+
+}  // namespace besync

@@ -1,0 +1,86 @@
+#ifndef BESYNC_EXP_RUNNER_H_
+#define BESYNC_EXP_RUNNER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "util/table_printer.h"
+
+namespace besync {
+
+/// One named experiment: a self-contained ExperimentConfig the runner
+/// executes via RunExperiment (which builds the job's private workload).
+///
+/// WORKLOAD-SHARING HAZARD: the runner deliberately does NOT accept a
+/// `Workload*`. RunExperimentOnWorkload mutates shared state through
+/// `ObjectSpec::process` (`Harness::Run` calls `process->Reset()` on every
+/// object), so a workload shared across concurrently running jobs is a data
+/// race and corrupts both runs. Each job instead builds its own workload
+/// from `config.workload`. MakeWorkload is deterministic given its config —
+/// including the per-object RNG seeds — so jobs with identical workload
+/// configs still observe bit-identical update streams, preserving the
+/// cross-scheduler pairing the figure benches rely on without any sharing.
+struct ExperimentJob {
+  std::string name;
+  ExperimentConfig config;
+};
+
+/// Outcome of one job. `result` is meaningful iff `status.ok()`.
+struct JobResult {
+  std::string name;
+  ExperimentConfig config;  ///< the config that produced the result
+  Status status;
+  RunResult result;
+  /// Wall-clock seconds this job took (nondeterministic; reported in tables
+  /// but deliberately excluded from JSON so fixed grids serialize
+  /// byte-identically at any thread count).
+  double wall_seconds = 0.0;
+};
+
+struct RunnerOptions {
+  /// Worker threads; 1 runs inline on the calling thread, <= 0 uses the
+  /// hardware concurrency.
+  int threads = 1;
+  /// When nonempty, prints a thread-safe "label: k/n" progress line.
+  std::string progress_label;
+};
+
+/// Deterministic per-job seed stream (SplitMix64 over base ^ index): gives
+/// every job of a grid its own reproducible seed that is stable across
+/// reorderings of *execution* (it depends only on the job's position, never
+/// on which worker ran it or when).
+uint64_t DeriveJobSeed(uint64_t base, uint64_t index);
+
+/// Runs every job, `options.threads` at a time, on a fixed thread pool.
+/// Results are indexed like `jobs` regardless of completion order, and every
+/// field except `wall_seconds` is a pure function of the job's config — the
+/// same grid produces identical results at threads=1 and threads=N.
+/// Per-job failures are reported in JobResult::status, never thrown.
+std::vector<JobResult> RunExperiments(const std::vector<ExperimentJob>& jobs,
+                                      const RunnerOptions& options = RunnerOptions());
+
+/// Serializes results as JSON:
+///   {"schema": "besync.run_results.v1",
+///    "results": [{"name": ..., "scheduler": ..., "policy": ..., "metric":
+///     ..., "num_caches": ..., "cache_bandwidth_avg": ...,
+///     "source_bandwidth_avg": ..., "loss_rate": ..., "workload_seed": ...,
+///     "ok": ..., "error": ..., "total_weighted_divergence": ...,
+///     "per_cache_weighted": [...], "per_object_weighted": ...,
+///     "per_object_unweighted": ..., "total_replicas": ...,
+///    "refreshes_sent": ..., "refreshes_delivered": ..., "feedback_sent":
+///     ..., "polls_sent": ..., "cache_utilization": ...}, ...]}
+/// Doubles use shortest round-trip formatting; timings are excluded, so the
+/// bytes depend only on the job configs (BENCH_*.json trajectory tracking).
+void WriteResultsJson(std::ostream& os, const std::vector<JobResult>& results);
+Status WriteResultsJson(const std::string& path, const std::vector<JobResult>& results);
+
+/// Standard summary table over the grid dimensions and headline metrics
+/// (benches with bespoke layouts assemble their own from the results).
+TablePrinter ResultsTable(const std::vector<JobResult>& results);
+
+}  // namespace besync
+
+#endif  // BESYNC_EXP_RUNNER_H_

@@ -36,6 +36,7 @@ SweepProgress::SweepProgress(std::string label, int total)
     : label_(std::move(label)), total_(total) {}
 
 void SweepProgress::Step() {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++done_;
   std::fprintf(stderr, "\r%s: %d/%d", label_.c_str(), done_, total_);
   std::fflush(stderr);

@@ -1,6 +1,7 @@
 #ifndef BESYNC_EXP_SWEEP_H_
 #define BESYNC_EXP_SWEEP_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,7 +14,8 @@ std::vector<double> LinSpace(double lo, double hi, int count);
 /// (lo, hi > 0).
 std::vector<double> GeomSpace(double lo, double hi, int count);
 
-/// Simple stderr progress line for long sweeps: "label: k/n".
+/// Simple stderr progress line for long sweeps: "label: k/n". Thread-safe:
+/// Step() may be called concurrently from experiment-runner workers.
 class SweepProgress {
  public:
   SweepProgress(std::string label, int total);
@@ -24,7 +26,8 @@ class SweepProgress {
  private:
   std::string label_;
   int total_;
-  int done_ = 0;
+  int done_ = 0;  // guarded by mutex_
+  std::mutex mutex_;
 };
 
 }  // namespace besync

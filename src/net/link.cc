@@ -14,17 +14,29 @@ Link::Link(std::string name, std::unique_ptr<BandwidthModel> bandwidth)
 
 void Link::BeginTick(double tick_start, double tick_len) {
   // Account for the previous tick's budget usage before starting a new one.
+  // Usage is measured against the recorded start-of-tick level, not the
+  // budget: a tick that starts below budget (paying off deficit carried in
+  // from an earlier tick) would otherwise re-report the borrowed units as
+  // used, double-counting them across the run.
   if (in_tick_) {
-    utilization_.Add(static_cast<double>(tick_budget_ - remaining_),
+    utilization_.Add(static_cast<double>(tick_start_remaining_ - remaining_),
                      static_cast<double>(tick_budget_));
   }
   // Debt from a multi-tick transmission carries forward; surplus does not.
   const int64_t debt = std::min<int64_t>(remaining_, 0);
   tick_budget_ = bandwidth_->BudgetForTick(tick_start, tick_len);
   remaining_ = tick_budget_ + debt;
+  tick_start_remaining_ = remaining_;
   queue_length_stat_.Add(static_cast<double>(queue_.size()));
   max_queue_size_ = std::max(max_queue_size_, queue_.size());
   in_tick_ = true;
+}
+
+void Link::FinishTick() {
+  if (!in_tick_) return;
+  utilization_.Add(static_cast<double>(tick_start_remaining_ - remaining_),
+                   static_cast<double>(tick_budget_));
+  in_tick_ = false;
 }
 
 void Link::Enqueue(Message message) {

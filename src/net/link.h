@@ -34,6 +34,11 @@ class Link {
   /// over (large messages occupy the link across ticks).
   void BeginTick(double tick_start, double tick_len);
 
+  /// Flushes the in-progress tick's usage into the utilization stat (a
+  /// tick is otherwise only accounted at the *next* BeginTick, so the last
+  /// tick of a run would go missing). Idempotent; call at end of run.
+  void FinishTick();
+
   /// Adds a message to the FIFO queue.
   void Enqueue(Message message);
 
@@ -82,6 +87,9 @@ class Link {
   std::deque<Message> queue_;
   int64_t tick_budget_ = 0;
   int64_t remaining_ = 0;
+  /// `remaining_` as of the last BeginTick (== tick_budget_ minus any
+  /// deficit carried in); the baseline utilization is measured against.
+  int64_t tick_start_remaining_ = 0;
   int64_t messages_delivered_ = 0;
   int64_t messages_dropped_ = 0;
   size_t max_queue_size_ = 0;

@@ -102,6 +102,11 @@ std::vector<Message> Network::TakeSourceMail(int source_index) {
   return TakeSourceMail(/*cache_id=*/0, source_index);
 }
 
+void Network::FinishTick() {
+  for (auto& link : cache_links_) link->FinishTick();
+  for (auto& link : source_links_) link->FinishTick();
+}
+
 void Network::ResetStats() {
   for (auto& link : cache_links_) link->ResetStats();
   for (auto& link : source_links_) link->ResetStats();

@@ -45,6 +45,10 @@ class Network {
   /// makes control messages deposited during the previous tick deliverable.
   void BeginTick(double tick_start, double tick_len);
 
+  /// Flushes the final tick's usage into every link's utilization stat
+  /// (call once at end of run — see Link::FinishTick).
+  void FinishTick();
+
   Link& cache_link(int cache_id);
   const Link& cache_link(int cache_id) const;
   /// Single-cache convenience (the paper's topology).

@@ -1,0 +1,65 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace besync {
+
+ThreadPool::ThreadPool(int num_threads) {
+  BESYNC_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  BESYNC_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    BESYNC_CHECK(!stopping_) << "Submit after destruction began";
+    tasks_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--unfinished_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace besync

@@ -1,0 +1,59 @@
+#ifndef BESYNC_UTIL_THREAD_POOL_H_
+#define BESYNC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace besync {
+
+/// A fixed pool of worker threads draining one shared FIFO task queue (no
+/// work stealing — experiment jobs are coarse enough that a single queue is
+/// never the bottleneck). Tasks must not throw; error reporting belongs in
+/// whatever state the task writes to.
+///
+///   ThreadPool pool(8);
+///   for (auto& job : jobs) pool.Submit([&job] { Run(&job); });
+///   pool.Wait();
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1, checked).
+  explicit ThreadPool(int num_threads);
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; it runs on some worker, in FIFO dispatch order.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. Safe to Submit
+  /// again afterwards.
+  void Wait();
+
+  /// std::thread::hardware_concurrency() floored at 1 (it can report 0).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  /// Submitted tasks not yet finished (queued + running).
+  int64_t unfinished_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_UTIL_THREAD_POOL_H_

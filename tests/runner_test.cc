@@ -1,0 +1,171 @@
+// Parallel experiment runner: thread-pool basics, per-job error capture,
+// and the core guarantee — the same job grid produces identical RunResults
+// (and byte-identical JSON) at threads=1 and threads=8, because every job
+// owns its workload and every field but wall_seconds is a pure function of
+// the job's config.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "exp/runner.h"
+#include "util/thread_pool.h"
+
+namespace besync {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitAllowsReuse) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  for (int i = 0; i < 10; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(DeriveJobSeedTest, DeterministicAndWellSpread) {
+  EXPECT_EQ(DeriveJobSeed(1, 0), DeriveJobSeed(1, 0));
+  std::set<uint64_t> seeds;
+  for (uint64_t base = 0; base < 4; ++base) {
+    for (uint64_t index = 0; index < 64; ++index) {
+      const uint64_t seed = DeriveJobSeed(base, index);
+      EXPECT_NE(seed, 0u);
+      seeds.insert(seed);
+    }
+  }
+  EXPECT_EQ(seeds.size(), 4u * 64u);
+}
+
+std::vector<ExperimentJob> MakeGrid() {
+  std::vector<ExperimentJob> jobs;
+  const SchedulerKind schedulers[] = {SchedulerKind::kCooperative,
+                                      SchedulerKind::kRoundRobin};
+  const double bandwidths[] = {4.0, 8.0, 16.0};
+  int index = 0;
+  for (SchedulerKind scheduler : schedulers) {
+    for (double bandwidth : bandwidths) {
+      ExperimentJob job;
+      job.name = "job" + std::to_string(index);
+      job.config.scheduler = scheduler;
+      job.config.workload.num_sources = 2;
+      job.config.workload.objects_per_source = 6;
+      job.config.workload.seed = DeriveJobSeed(5, static_cast<uint64_t>(index));
+      job.config.harness.warmup = 10.0;
+      job.config.harness.measure = 60.0;
+      job.config.cache_bandwidth_avg = bandwidth;
+      jobs.push_back(std::move(job));
+      ++index;
+    }
+  }
+  return jobs;
+}
+
+TEST(RunnerTest, ResultsIdenticalAcrossThreadCounts) {
+  const std::vector<ExperimentJob> jobs = MakeGrid();
+
+  RunnerOptions sequential;
+  sequential.threads = 1;
+  const std::vector<JobResult> base = RunExperiments(jobs, sequential);
+
+  RunnerOptions parallel;
+  parallel.threads = 8;
+  const std::vector<JobResult> threaded = RunExperiments(jobs, parallel);
+
+  ASSERT_EQ(base.size(), jobs.size());
+  ASSERT_EQ(threaded.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    // Results come back in job order regardless of completion order.
+    EXPECT_EQ(base[i].name, jobs[i].name);
+    EXPECT_EQ(threaded[i].name, jobs[i].name);
+    ASSERT_TRUE(base[i].status.ok());
+    ASSERT_TRUE(threaded[i].status.ok());
+    // Bitwise equality, not near-equality: the runs must be the same
+    // computation, merely scheduled on different workers.
+    EXPECT_EQ(base[i].result.total_weighted_divergence,
+              threaded[i].result.total_weighted_divergence);
+    EXPECT_EQ(base[i].result.per_object_unweighted,
+              threaded[i].result.per_object_unweighted);
+    EXPECT_EQ(base[i].result.per_cache_weighted,
+              threaded[i].result.per_cache_weighted);
+    EXPECT_EQ(base[i].result.total_replicas, threaded[i].result.total_replicas);
+    EXPECT_EQ(base[i].result.scheduler.refreshes_sent,
+              threaded[i].result.scheduler.refreshes_sent);
+    EXPECT_EQ(base[i].result.scheduler.refreshes_delivered,
+              threaded[i].result.scheduler.refreshes_delivered);
+    EXPECT_EQ(base[i].result.scheduler.feedback_sent,
+              threaded[i].result.scheduler.feedback_sent);
+  }
+
+  std::ostringstream json_base;
+  std::ostringstream json_threaded;
+  WriteResultsJson(json_base, base);
+  WriteResultsJson(json_threaded, threaded);
+  EXPECT_EQ(json_base.str(), json_threaded.str());  // byte-identical
+}
+
+TEST(RunnerTest, PerJobErrorsAreCapturedNotFatal) {
+  std::vector<ExperimentJob> jobs(2);
+  jobs[0].name = "bad";
+  jobs[0].config.workload.num_sources = 0;  // MakeWorkload rejects this
+  jobs[1].name = "good";
+  jobs[1].config.workload.num_sources = 1;
+  jobs[1].config.workload.objects_per_source = 4;
+  jobs[1].config.harness.warmup = 5.0;
+  jobs[1].config.harness.measure = 20.0;
+
+  RunnerOptions options;
+  options.threads = 2;
+  const std::vector<JobResult> results = RunExperiments(jobs, options);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].status.ok());
+  EXPECT_TRUE(results[1].status.ok());
+
+  // Failed jobs serialize with ok=false and stay valid JSON.
+  std::ostringstream json;
+  WriteResultsJson(json, results);
+  EXPECT_NE(json.str().find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.str().find("\"ok\": true"), std::string::npos);
+}
+
+TEST(RunnerTest, EmptyJobListProducesEmptyJson) {
+  const std::vector<JobResult> results = RunExperiments({}, RunnerOptions());
+  EXPECT_TRUE(results.empty());
+  std::ostringstream json;
+  WriteResultsJson(json, results);
+  EXPECT_NE(json.str().find("\"results\": []"), std::string::npos);
+}
+
+TEST(RunnerTest, ResultsTableHasOneRowPerJob) {
+  const std::vector<ExperimentJob> jobs = MakeGrid();
+  RunnerOptions options;
+  options.threads = 4;
+  const std::vector<JobResult> results = RunExperiments(jobs, options);
+  const TablePrinter table = ResultsTable(results);
+  EXPECT_EQ(table.num_rows(), jobs.size());
+}
+
+}  // namespace
+}  // namespace besync
