@@ -13,21 +13,20 @@
 //
 // The real TAO/PMEL archive is not available offline; this reproduction
 // generates statistically comparable traces (see DESIGN.md, Substitutions).
+//
+// Runs on the parallel experiment runner via the clone-per-job path: the
+// buoy trace workload is generated once and every (mode, bandwidth,
+// scheduler) job receives a private CloneWorkload deep copy, so all jobs
+// score the identical measurement stream and --threads=N is free to
+// reorder execution without changing a byte of the --json output.
 
 #include "bench_common.h"
 #include "core/system.h"
 #include "data/buoy_trace.h"
 #include "exp/experiment.h"
-#include "exp/sweep.h"
 
 namespace besync {
 namespace {
-
-struct Point {
-  double bandwidth;
-  double ideal;
-  double ours;
-};
 
 int Run(const BenchOptions& options) {
   std::cout << "== Figure 5: wind-buoy monitoring (synthetic TAO stand-in) ==\n"
@@ -51,36 +50,50 @@ int Run(const BenchOptions& options) {
   harness_config.warmup = 86400.0;  // first day
   harness_config.measure = trace_config.duration - harness_config.warmup;
 
-  TablePrinter table({"mode", "bandwidth_per_min", "ideal", "our_algorithm"});
+  const Workload workload = std::move(MakeBuoyWorkload(trace_config)).ValueOrDie();
+
+  // Grid: mode-major, then bandwidth, then (ideal, ours) — two consecutive
+  // jobs per table row.
+  std::vector<ExperimentJob> jobs;
   for (const bool fluctuating : {false, true}) {
-    SweepProgress progress(fluctuating ? "fig5 fluctuating" : "fig5 fixed",
-                           static_cast<int>(bandwidths.size()));
     for (double per_minute : bandwidths) {
       ExperimentConfig config;
       config.metric = MetricKind::kValueDeviation;
       config.harness = harness_config;
       config.cache_bandwidth_avg = per_minute / 60.0;
       config.bandwidth_change_rate = fluctuating ? 0.25 / 60.0 : 0.0;
+      config.workload.seed = trace_config.seed;  // JSON metadata only
+      for (SchedulerKind scheduler :
+           {SchedulerKind::kIdealCooperative, SchedulerKind::kCooperative}) {
+        ExperimentJob job;
+        job.config = config;
+        job.config.scheduler = scheduler;
+        job.name = std::string(fluctuating ? "fluctuating" : "fixed") +
+                   ",B/min=" + TablePrinter::Cell(per_minute) + "," +
+                   SchedulerKindToString(scheduler);
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
 
-      Workload workload = std::move(MakeBuoyWorkload(trace_config)).ValueOrDie();
+  const std::vector<JobResult> results =
+      RunExperimentsOnWorkload(workload, jobs, options.runner("fig5"));
+  CheckJobsOk(results);
 
-      config.scheduler = SchedulerKind::kIdealCooperative;
-      auto ideal = RunExperimentOnWorkload(config, &workload);
-      BESYNC_CHECK_OK(ideal.status());
-
-      config.scheduler = SchedulerKind::kCooperative;
-      auto ours = RunExperimentOnWorkload(config, &workload);
-      BESYNC_CHECK_OK(ours.status());
-
+  TablePrinter table({"mode", "bandwidth_per_min", "ideal", "our_algorithm"});
+  size_t job_index = 0;
+  for (const bool fluctuating : {false, true}) {
+    for (double per_minute : bandwidths) {
+      const JobResult& ideal = results[job_index++];
+      const JobResult& ours = results[job_index++];
       table.AddRow({fluctuating ? "fluctuating" : "fixed",
                     TablePrinter::Cell(per_minute),
-                    TablePrinter::Cell(ideal->per_object_weighted),
-                    TablePrinter::Cell(ours->per_object_weighted)});
-      progress.Step();
+                    TablePrinter::Cell(ideal.result.per_object_weighted),
+                    TablePrinter::Cell(ours.result.per_object_weighted)});
     }
-    progress.Finish();
   }
   EmitTable(table, options);
+  EmitJson(results, options);
   return 0;
 }
 

@@ -13,12 +13,18 @@
 // (--json PATH, --csv PATH). The default grid is 1 x 3 x 3 x 4 x 2 = 72
 // configurations sized to finish in seconds.
 //
-// Deterministic by construction: each job builds its own workload from a
-// seed derived only from (--seed, cache count) — jobs differing in
-// scheduler, policy, bandwidth, or loss rate therefore score identical
-// update streams, and the JSON output is byte-identical at any --threads
-// (timings are excluded from it). See exp/runner.h for the workload-sharing
-// hazard that shapes this design.
+// --workload selects the update streams the grid is scored on:
+//   synthetic (default) — each job rebuilds a Poisson random-walk workload
+//     from a seed derived only from (--seed, cache count), so jobs
+//     differing in scheduler, policy, bandwidth, or loss rate score
+//     identical update streams (--sources/--objects shape it);
+//   buoy — the TAO wind-buoy trace stand-in (data/buoy_trace.h) is
+//     generated once and every job runs a private CloneWorkload deep copy
+//     (--buoys sets the buoy count; single-cache only, time unit switches
+//     to the paper's 60 s ticks with bandwidth in messages/second).
+// Either way the JSON output is byte-identical at any --threads (timings
+// are excluded from it). See exp/runner.h for the workload-sharing hazard
+// that shapes both paths.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "data/buoy_trace.h"
 #include "exp/runner.h"
 #include "util/thread_pool.h"
 
@@ -106,6 +113,14 @@ bool PolicySensitive(SchedulerKind kind) {
 bool LossSensitive(SchedulerKind kind) { return kind == SchedulerKind::kCooperative; }
 
 int Run(const BenchOptions& options) {
+  const std::string workload_mode = options.flags.GetString("workload", "synthetic");
+  const bool buoy = workload_mode == "buoy";
+  if (!buoy && workload_mode != "synthetic") {
+    std::fprintf(stderr, "--workload: unknown mode '%s' (synthetic, buoy)\n",
+                 workload_mode.c_str());
+    std::exit(2);
+  }
+
   std::vector<SchedulerKind> schedulers;
   for (const std::string& name :
        SplitList(options.flags.GetString("schedulers", "cooperative"))) {
@@ -116,25 +131,74 @@ int Run(const BenchOptions& options) {
        SplitList(options.flags.GetString("policies", "area,naive,bound"))) {
     policies.push_back(ParsePolicy(name));
   }
-  const std::vector<int> cache_counts =
-      ParseIntList("caches", options.flags.GetString("caches", "1,2,4"));
+  const std::vector<int> cache_counts = ParseIntList(
+      "caches", options.flags.GetString("caches", buoy ? "1" : "1,2,4"));
+  // Buoy-mode bandwidths default to the Figure-5 regime: the trace updates
+  // every 10 minutes, so sensible budgets are fractions of a message per
+  // second (0.05/0.2/0.8 msgs/s = 3/12/48 msgs/min against the paper's
+  // 1-80 msgs/min axis).
   const std::vector<double> bandwidths = ParseDoubleList(
-      "bandwidths", options.flags.GetString("bandwidths", "8,16,32,64"));
+      "bandwidths",
+      options.flags.GetString("bandwidths", buoy ? "0.05,0.2,0.8" : "8,16,32,64"));
   const std::vector<double> loss_rates =
       ParseDoubleList("loss_rates", options.flags.GetString("loss_rates", "0,0.05"));
+  if (buoy) {
+    for (int num_caches : cache_counts) {
+      if (num_caches != 1) {
+        std::fprintf(stderr,
+                     "--workload=buoy models the paper's single-cache star; "
+                     "--caches must be 1, got %d\n",
+                     num_caches);
+        std::exit(2);
+      }
+    }
+    // The synthetic-shape flags have no effect on the trace workload;
+    // reject them so a misadapted invocation fails loudly instead of
+    // silently sweeping the default trace.
+    for (const char* flag : {"sources", "objects"}) {
+      if (options.flags.Has(flag)) {
+        std::fprintf(stderr,
+                     "--%s shapes the synthetic workload only; use --buoys "
+                     "with --workload=buoy\n",
+                     flag);
+        std::exit(2);
+      }
+    }
+  }
 
   ExperimentConfig base;
   base.metric = MetricKind::kValueDeviation;
-  base.workload.num_sources =
-      static_cast<int>(options.flags.GetInt("sources", options.full ? 32 : 8));
-  base.workload.objects_per_source =
-      static_cast<int>(options.flags.GetInt("objects", options.full ? 25 : 10));
-  base.workload.rate_lo = 0.0;
-  base.workload.rate_hi = 1.0;
-  base.harness.warmup = options.flags.GetDouble("warmup", 100.0);
-  base.harness.measure =
-      options.flags.GetDouble("measure", options.full ? 5000.0 : 1000.0);
+  if (buoy) {
+    // Figure-5 timing: 60 s ticks, day-scale warm-up and measurement.
+    base.harness.tick_length = 60.0;
+    base.harness.warmup = options.flags.GetDouble("warmup", 86400.0);
+    base.harness.measure = options.flags.GetDouble(
+        "measure", options.full ? 6.0 * 86400.0 : 86400.0);
+  } else {
+    base.workload.num_sources =
+        static_cast<int>(options.flags.GetInt("sources", options.full ? 32 : 8));
+    base.workload.objects_per_source =
+        static_cast<int>(options.flags.GetInt("objects", options.full ? 25 : 10));
+    base.workload.rate_lo = 0.0;
+    base.workload.rate_hi = 1.0;
+    base.harness.warmup = options.flags.GetDouble("warmup", 100.0);
+    base.harness.measure =
+        options.flags.GetDouble("measure", options.full ? 5000.0 : 1000.0);
+  }
   base.source_bandwidth_avg = -1.0;  // unconstrained; the grid varies B_C
+
+  // The buoy workload is generated once; every job gets a private clone.
+  Workload buoy_workload;
+  if (buoy) {
+    BuoyTraceConfig trace_config;
+    trace_config.seed = 2000 + options.seed;
+    trace_config.num_buoys =
+        static_cast<int>(options.flags.GetInt("buoys", options.full ? 40 : 8));
+    trace_config.duration = base.harness.warmup + base.harness.measure;
+    buoy_workload = std::move(MakeBuoyWorkload(trace_config)).ValueOrDie();
+    base.workload.seed = trace_config.seed;  // JSON metadata only
+    base.workload.num_caches = 1;
+  }
 
   std::vector<ExperimentJob> jobs;
   int skipped = 0;
@@ -158,14 +222,18 @@ int Run(const BenchOptions& options) {
             job.config = base;
             job.config.scheduler = scheduler;
             job.config.policy = policies[p];
-            job.config.workload.num_caches = num_caches;
-            job.config.workload.interest_pattern =
-                num_caches == 1 ? InterestPattern::kSingleCache
-                                : InterestPattern::kPartitionedBySource;
-            // Same topology => same workload stream: scheduler/policy/
-            // bandwidth/loss points are scored on identical update streams.
-            job.config.workload.seed =
-                DeriveJobSeed(options.seed, static_cast<uint64_t>(num_caches));
+            if (!buoy) {
+              job.config.workload.num_caches = num_caches;
+              job.config.workload.interest_pattern =
+                  num_caches == 1 ? InterestPattern::kSingleCache
+                                  : InterestPattern::kPartitionedBySource;
+              // Same topology => same workload stream: scheduler/policy/
+              // bandwidth/loss points are scored on identical update
+              // streams. (Buoy mode shares one clone-fanned workload, so
+              // its jobs keep the base trace seed.)
+              job.config.workload.seed =
+                  DeriveJobSeed(options.seed, static_cast<uint64_t>(num_caches));
+            }
             job.config.cache_bandwidth_avg = bandwidth;
             job.config.loss_rate = loss_rate;
             job.name = SchedulerKindToString(scheduler) + "," +
@@ -188,7 +256,9 @@ int Run(const BenchOptions& options) {
                options.threads <= 0 ? ThreadPool::HardwareThreads() : options.threads,
                skipped > 0 ? " (multi-cache baseline combos skipped)" : "");
 
-  const std::vector<JobResult> results = RunExperiments(jobs, options.runner("sweep"));
+  const std::vector<JobResult> results =
+      buoy ? RunExperimentsOnWorkload(buoy_workload, jobs, options.runner("sweep"))
+           : RunExperiments(jobs, options.runner("sweep"));
 
   EmitTable(ResultsTable(results), options);
   EmitJson(results, options);
@@ -210,5 +280,5 @@ int main(int argc, char** argv) {
   return besync::Run(besync::BenchOptions::Parse(
       argc, argv,
       {"schedulers", "policies", "caches", "bandwidths", "loss_rates", "sources",
-       "objects", "warmup", "measure"}));
+       "objects", "warmup", "measure", "workload", "buoys"}));
 }

@@ -121,4 +121,10 @@ double TraceProcess::ApplyUpdate(double current_value, Rng* /*rng*/) {
   return points_[cursor_++].value;
 }
 
+std::unique_ptr<UpdateProcess> TraceProcess::Clone() const {
+  auto clone = std::make_unique<TraceProcess>(points_);
+  clone->cursor_ = cursor_;
+  return clone;
+}
+
 }  // namespace besync

@@ -31,6 +31,12 @@ class UpdateProcess {
   /// Rewinds any internal cursor state so the same workload object can be
   /// run under several schedulers. Stateless processes need not override.
   virtual void Reset() {}
+
+  /// Deep copy, including any cursor state: given identical subsequent RNG
+  /// draws, the clone produces exactly the update stream the original would
+  /// have produced. Enables CloneWorkload (data/workload.h), which fans one
+  /// workload out across concurrently running jobs.
+  virtual std::unique_ptr<UpdateProcess> Clone() const = 0;
 };
 
 /// Poisson-timed random walk: updates arrive as a Poisson process with rate
@@ -43,6 +49,9 @@ class PoissonRandomWalkProcess : public UpdateProcess {
   double NextUpdateTime(double now, Rng* rng) override;
   double ApplyUpdate(double current_value, Rng* rng) override;
   double rate() const override { return lambda_; }
+  std::unique_ptr<UpdateProcess> Clone() const override {
+    return std::make_unique<PoissonRandomWalkProcess>(lambda_, step_);
+  }
 
  private:
   double lambda_;
@@ -60,6 +69,9 @@ class BernoulliRandomWalkProcess : public UpdateProcess {
   double NextUpdateTime(double now, Rng* rng) override;
   double ApplyUpdate(double current_value, Rng* rng) override;
   double rate() const override { return probability_; }
+  std::unique_ptr<UpdateProcess> Clone() const override {
+    return std::make_unique<BernoulliRandomWalkProcess>(probability_, step_);
+  }
 
  private:
   double probability_;
@@ -80,6 +92,10 @@ class RegimeSwitchingProcess : public UpdateProcess {
   double ApplyUpdate(double current_value, Rng* rng) override;
   /// Long-run average rate (the mean of the two regime rates).
   double rate() const override { return 0.5 * (rate_a_ + rate_b_); }
+  std::unique_ptr<UpdateProcess> Clone() const override {
+    return std::make_unique<RegimeSwitchingProcess>(rate_a_, rate_b_, regime_length_,
+                                                    step_);
+  }
 
   /// Rate in force at time `t`.
   double RateAt(double t) const;
@@ -105,6 +121,9 @@ class DriftProcess : public UpdateProcess {
   double NextUpdateTime(double now, Rng* rng) override;
   double ApplyUpdate(double current_value, Rng* rng) override;
   double rate() const override { return lambda_; }
+  std::unique_ptr<UpdateProcess> Clone() const override {
+    return std::make_unique<DriftProcess>(lambda_, step_);
+  }
 
  private:
   double lambda_;
@@ -128,6 +147,8 @@ class TraceProcess : public UpdateProcess {
   double ApplyUpdate(double current_value, Rng* rng) override;
   double rate() const override { return rate_; }
   void Reset() override { cursor_ = 0; }
+  /// Copies the full point vector and the current cursor position.
+  std::unique_ptr<UpdateProcess> Clone() const override;
 
   size_t num_points() const { return points_.size(); }
 

@@ -19,6 +19,10 @@ double ProductWeight::average() const {
   return importance_->average() * popularity_->average();
 }
 
+std::unique_ptr<Fluctuation> ProductWeight::Clone() const {
+  return std::make_unique<ProductWeight>(importance_->Clone(), popularity_->Clone());
+}
+
 std::unique_ptr<Fluctuation> MakeConstantWeight(double value) {
   return std::make_unique<ConstantFluctuation>(value);
 }

@@ -21,6 +21,8 @@ class ProductWeight : public Fluctuation {
   /// (exact when at least one factor is constant, which covers all the
   /// workloads in the evaluation).
   double average() const override;
+  /// Deep copy: both factors are cloned recursively.
+  std::unique_ptr<Fluctuation> Clone() const override;
 
  private:
   std::unique_ptr<Fluctuation> importance_;

@@ -37,6 +37,35 @@ std::vector<std::vector<int32_t>> SourcesByCache(const Workload& workload) {
   return sources;
 }
 
+ObjectSpec CloneObjectSpec(const ObjectSpec& spec) {
+  ObjectSpec clone;
+  clone.index = spec.index;
+  clone.source_index = spec.source_index;
+  clone.caches = spec.caches;
+  clone.lambda = spec.lambda;
+  clone.initial_value = spec.initial_value;
+  if (spec.process != nullptr) clone.process = spec.process->Clone();
+  if (spec.weight != nullptr) clone.weight = spec.weight->Clone();
+  if (spec.source_weight != nullptr) clone.source_weight = spec.source_weight->Clone();
+  clone.max_divergence_rate = spec.max_divergence_rate;
+  clone.refresh_cost = spec.refresh_cost;
+  clone.rng_seed = spec.rng_seed;
+  return clone;
+}
+
+Workload CloneWorkload(const Workload& workload) {
+  Workload clone;
+  clone.num_sources = workload.num_sources;
+  clone.objects_per_source = workload.objects_per_source;
+  clone.num_caches = workload.num_caches;
+  clone.has_fluctuating_weights = workload.has_fluctuating_weights;
+  clone.objects.reserve(workload.objects.size());
+  for (const ObjectSpec& spec : workload.objects) {
+    clone.objects.push_back(CloneObjectSpec(spec));
+  }
+  return clone;
+}
+
 namespace {
 
 /// Assigns `spec->caches` for one object under the configured interest

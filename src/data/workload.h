@@ -21,8 +21,10 @@ struct ObjectSpec {
   /// Which source hosts this object (0 .. m-1).
   int32_t source_index = 0;
   /// Which caches replicate this object (the interest map), ascending and
-  /// duplicate-free. The paper's Figure-1 star topology is the default:
-  /// every object lives at the single cache 0.
+  /// duplicate-free. The default reproduces the paper's Figure-1 topology —
+  /// a single cache, so every object lives at cache 0 — but since the
+  /// multi-cache generalization any subset of 0 .. num_caches-1 is valid
+  /// (see InterestPattern for the generated shapes).
   std::vector<int32_t> caches = {0};
 
   /// Position of `cache_id` in `caches` (the object's replica slot at that
@@ -182,6 +184,20 @@ struct WorkloadConfig {
 /// the seed): two calls with the same config produce identical specs and
 /// identical per-object RNG seeds.
 Result<Workload> MakeWorkload(const WorkloadConfig& config);
+
+/// Deep copy of one object spec: scalar fields are copied and the owned
+/// polymorphic members (process, weight, source_weight) are Clone()d, so
+/// the copy shares no mutable state with the original.
+ObjectSpec CloneObjectSpec(const ObjectSpec& spec);
+
+/// Deep copy of a whole workload. The clone replays exactly the update
+/// stream the original would (same specs, same per-object RNG seeds, same
+/// process cursor state), yet owns every byte of it — running or mutating
+/// the clone leaves the original untouched. This is what lets one
+/// hand-constructed or trace-derived workload (e.g. MakeBuoyWorkload) fan
+/// out across concurrent runner jobs: each job runs a private clone
+/// (RunExperimentsOnWorkload in exp/runner.h).
+Workload CloneWorkload(const Workload& workload);
 
 }  // namespace besync
 

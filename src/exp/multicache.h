@@ -26,8 +26,12 @@ struct MulticacheConfig {
   /// capacity grows with the topology); false: the base bandwidth is split
   /// evenly across caches (fixed total capacity).
   bool bandwidth_per_cache = true;
-  /// Worker threads for the sweep (each point is an independent job with its
-  /// own private workload); 1 = sequential, <= 0 = hardware concurrency.
+  /// Worker threads for the sweep; 1 = sequential, <= 0 = hardware
+  /// concurrency. Each point is an independent job that rebuilds its private
+  /// workload from the base config (the runner's config-rebuild path —
+  /// correct here because every point *varies* the workload topology; a
+  /// shared-by-clone base workload, RunExperimentsOnWorkload, suits grids
+  /// that score one fixed workload instead).
   int threads = 1;
 };
 

@@ -58,11 +58,12 @@ std::string JsonString(const std::string& text) {
   return out;
 }
 
-void RunOneJob(const ExperimentJob& job, JobResult* out) {
-  out->name = job.name;
-  out->config = job.config;
+/// Times `run` (which includes any workload build/clone cost) and unpacks
+/// its Result into `out`.
+template <typename Run>
+void TimedRun(JobResult* out, const Run& run) {
   const auto start = std::chrono::steady_clock::now();
-  Result<RunResult> result = RunExperiment(job.config);
+  Result<RunResult> result = run();
   out->wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   if (result.ok()) {
@@ -70,6 +71,59 @@ void RunOneJob(const ExperimentJob& job, JobResult* out) {
   } else {
     out->status = result.status();
   }
+}
+
+void RunOneJob(const ExperimentJob& job, JobResult* out) {
+  out->name = job.name;
+  out->config = job.config;
+  TimedRun(out, [&job] { return RunExperiment(job.config); });
+}
+
+void RunOneJobOnClone(const Workload& base_workload, const ExperimentJob& job,
+                      JobResult* out) {
+  out->name = job.name;
+  out->config = job.config;
+  // The base workload is authoritative for the topology: the stamped count
+  // configures the cooperative scheduler and the JSON grid coordinates.
+  out->config.workload.num_caches = base_workload.num_caches;
+  TimedRun(out, [&base_workload, out] {
+    Workload clone = CloneWorkload(base_workload);
+    return RunExperimentOnWorkload(out->config, &clone);
+  });
+}
+
+/// Shared scheduling skeleton: runs `run_one(i, &results[i])` for every job
+/// index, `options.threads` at a time, with results in index order.
+template <typename RunOne>
+std::vector<JobResult> RunAll(size_t num_jobs, const RunnerOptions& options,
+                              const RunOne& run_one) {
+  std::vector<JobResult> results(num_jobs);
+  SweepProgress progress(options.progress_label.empty() ? "runner"
+                                                        : options.progress_label,
+                         static_cast<int>(num_jobs));
+  const bool show_progress = !options.progress_label.empty();
+
+  const int threads =
+      options.threads <= 0 ? ThreadPool::HardwareThreads() : options.threads;
+  if (threads == 1 || num_jobs <= 1) {
+    for (size_t i = 0; i < num_jobs; ++i) {
+      run_one(i, &results[i]);
+      if (show_progress) progress.Step();
+    }
+  } else {
+    // Each task writes only its own result slot; the vector is pre-sized so
+    // no reallocation happens under the workers' feet.
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < num_jobs; ++i) {
+      pool.Submit([&results, &progress, &run_one, show_progress, i] {
+        run_one(i, &results[i]);
+        if (show_progress) progress.Step();
+      });
+    }
+    pool.Wait();
+  }
+  if (show_progress) progress.Finish();
+  return results;
 }
 
 }  // namespace
@@ -86,33 +140,17 @@ uint64_t DeriveJobSeed(uint64_t base, uint64_t index) {
 
 std::vector<JobResult> RunExperiments(const std::vector<ExperimentJob>& jobs,
                                       const RunnerOptions& options) {
-  std::vector<JobResult> results(jobs.size());
-  SweepProgress progress(options.progress_label.empty() ? "runner"
-                                                        : options.progress_label,
-                         static_cast<int>(jobs.size()));
-  const bool show_progress = !options.progress_label.empty();
+  return RunAll(jobs.size(), options,
+                [&jobs](size_t i, JobResult* out) { RunOneJob(jobs[i], out); });
+}
 
-  const int threads =
-      options.threads <= 0 ? ThreadPool::HardwareThreads() : options.threads;
-  if (threads == 1 || jobs.size() <= 1) {
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      RunOneJob(jobs[i], &results[i]);
-      if (show_progress) progress.Step();
-    }
-  } else {
-    // Each task writes only its own result slot; the vector is pre-sized so
-    // no reallocation happens under the workers' feet.
-    ThreadPool pool(threads);
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      pool.Submit([&jobs, &results, &progress, show_progress, i] {
-        RunOneJob(jobs[i], &results[i]);
-        if (show_progress) progress.Step();
-      });
-    }
-    pool.Wait();
-  }
-  if (show_progress) progress.Finish();
-  return results;
+std::vector<JobResult> RunExperimentsOnWorkload(const Workload& base_workload,
+                                                const std::vector<ExperimentJob>& jobs,
+                                                const RunnerOptions& options) {
+  return RunAll(jobs.size(), options,
+                [&base_workload, &jobs](size_t i, JobResult* out) {
+                  RunOneJobOnClone(base_workload, jobs[i], out);
+                });
 }
 
 void WriteResultsJson(std::ostream& os, const std::vector<JobResult>& results) {

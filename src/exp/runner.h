@@ -12,17 +12,36 @@
 namespace besync {
 
 /// One named experiment: a self-contained ExperimentConfig the runner
-/// executes via RunExperiment (which builds the job's private workload).
+/// executes via RunExperiment (which builds the job's private workload) or,
+/// for RunExperimentsOnWorkload, against a private clone of a shared base
+/// workload (in which case `config.workload` is ignored as a generator and
+/// serves only as JSON/tables metadata).
 ///
-/// WORKLOAD-SHARING HAZARD: the runner deliberately does NOT accept a
-/// `Workload*`. RunExperimentOnWorkload mutates shared state through
-/// `ObjectSpec::process` (`Harness::Run` calls `process->Reset()` on every
-/// object), so a workload shared across concurrently running jobs is a data
-/// race and corrupts both runs. Each job instead builds its own workload
-/// from `config.workload`. MakeWorkload is deterministic given its config —
-/// including the per-object RNG seeds — so jobs with identical workload
-/// configs still observe bit-identical update streams, preserving the
-/// cross-scheduler pairing the figure benches rely on without any sharing.
+/// WORKLOAD-SHARING HAZARD: a `Workload` must never be *shared* between
+/// concurrently running jobs. RunExperimentOnWorkload mutates state owned
+/// by the workload through `ObjectSpec::process` (`Harness::Run` calls
+/// `process->Reset()` on every object), so two jobs running over the same
+/// instance race and corrupt both runs. The runner therefore offers two
+/// safe paths, each giving every job a workload it exclusively owns:
+///
+///  1. Config rebuild (RunExperiments): each job builds its own workload
+///     from `config.workload`. MakeWorkload is deterministic given its
+///     config — including the per-object RNG seeds — so jobs with identical
+///     workload configs observe bit-identical update streams. Correct for
+///     synthetic workloads; costs O(build) per job, and jobs are only as
+///     identical as their configs.
+///
+///  2. Clone per job (RunExperimentsOnWorkload): each job receives a
+///     private CloneWorkload deep copy of one caller-supplied base
+///     workload. Correct — and the only option — for trace-derived or
+///     hand-constructed workloads that no WorkloadConfig can rebuild
+///     (e.g. MakeBuoyWorkload); also cheaper when cloning is cheaper than
+///     rebuilding. The clones are exact copies, so every job observes the
+///     *same* update stream by construction.
+///
+/// Both paths preserve the cross-scheduler pairing the figure benches rely
+/// on, and both produce results that are pure functions of (job config,
+/// base workload) — independent of thread count.
 struct ExperimentJob {
   std::string name;
   ExperimentConfig config;
@@ -61,6 +80,20 @@ uint64_t DeriveJobSeed(uint64_t base, uint64_t index);
 /// Per-job failures are reported in JobResult::status, never thrown.
 std::vector<JobResult> RunExperiments(const std::vector<ExperimentJob>& jobs,
                                       const RunnerOptions& options = RunnerOptions());
+
+/// Clone-per-job variant: runs every job against a private CloneWorkload
+/// deep copy of `base_workload` instead of rebuilding from
+/// `config.workload` (hazard path 2 above). Use for trace-derived or
+/// hand-constructed workloads. The runner stamps each reported config's
+/// `workload.num_caches` from the base workload so JSON/table grid
+/// coordinates reflect the actual topology; the remaining
+/// `config.workload` generator fields are reported as the caller set them
+/// (set `config.workload.seed` to the trace seed for faithful metadata).
+/// Determinism guarantee matches RunExperiments: identical results and
+/// byte-identical JSON at any thread count.
+std::vector<JobResult> RunExperimentsOnWorkload(
+    const Workload& base_workload, const std::vector<ExperimentJob>& jobs,
+    const RunnerOptions& options = RunnerOptions());
 
 /// Serializes results as JSON:
 ///   {"schema": "besync.run_results.v1",

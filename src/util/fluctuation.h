@@ -21,6 +21,11 @@ class Fluctuation {
 
   /// Time average of the signal (the paper's B_S / B_C / base-weight knobs).
   virtual double average() const = 0;
+
+  /// Deep copy: an independent instance that returns the same ValueAt(t)
+  /// for every t. Required so whole workloads can be cloned for concurrent
+  /// runs (CloneWorkload in data/workload.h).
+  virtual std::unique_ptr<Fluctuation> Clone() const = 0;
 };
 
 /// Constant signal (the paper's mB = 0 case).
@@ -30,6 +35,9 @@ class ConstantFluctuation : public Fluctuation {
 
   double ValueAt(double t) const override;
   double average() const override { return value_; }
+  std::unique_ptr<Fluctuation> Clone() const override {
+    return std::make_unique<ConstantFluctuation>(value_);
+  }
 
  private:
   double value_;
@@ -43,6 +51,9 @@ class SineFluctuation : public Fluctuation {
 
   double ValueAt(double t) const override;
   double average() const override { return base_; }
+  std::unique_ptr<Fluctuation> Clone() const override {
+    return std::make_unique<SineFluctuation>(base_, relative_amplitude_, period_, phase_);
+  }
 
   double relative_amplitude() const { return relative_amplitude_; }
   double period() const { return period_; }

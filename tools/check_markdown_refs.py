@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Checks that documentation references resolve to real files.
+
+Two classes of reference are verified, both of which have broken silently
+in the past (a source comment cited a DESIGN.md that did not exist yet):
+
+1. Relative markdown links ``[text](path)`` in every ``*.md`` file —
+   the target must exist, resolved against the linking file's directory
+   (anchors and external ``scheme://`` / ``mailto:`` links are skipped).
+2. Mentions of ``*.md`` files in source comments under ``src/``,
+   ``bench/``, ``tests/``, ``tools/`` and ``examples/`` — the named file
+   must exist at the repository root.
+
+Exit status: 0 when every reference resolves, 1 otherwise (each dangling
+reference is printed as ``file:line: message``). Run from anywhere; the
+repo root is derived from this script's location.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+MD_MENTION = re.compile(r"[A-Za-z0-9_.-]+\.md\b")
+SOURCE_DIRS = ["src", "bench", "tests", "tools", "examples"]
+SOURCE_SUFFIXES = {".h", ".cc", ".cpp", ".py"}
+
+
+def iter_markdown_files():
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if any(part in {"build", ".git", "_deps"} for part in path.parts):
+            continue
+        yield path
+
+
+def check_markdown_links(errors):
+    for md_file in iter_markdown_files():
+        for lineno, line in enumerate(
+            md_file.read_text(encoding="utf-8", errors="replace").splitlines(),
+            start=1,
+        ):
+            for match in MD_LINK.finditer(line):
+                target = match.group(1).split("#", 1)[0]
+                if not target or "://" in target or target.startswith("mailto:"):
+                    continue
+                resolved = (md_file.parent / target).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{md_file.relative_to(REPO_ROOT)}:{lineno}: "
+                        f"dangling link target '{target}'"
+                    )
+
+
+def check_source_mentions(errors):
+    for source_dir in SOURCE_DIRS:
+        root = REPO_ROOT / source_dir
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES:
+                continue
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8", errors="replace").splitlines(),
+                start=1,
+            ):
+                for match in MD_MENTION.finditer(line):
+                    name = match.group(0)
+                    if not (REPO_ROOT / name).exists():
+                        errors.append(
+                            f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                            f"mentions '{name}' which does not exist at the repo root"
+                        )
+
+
+def main():
+    errors = []
+    check_markdown_links(errors)
+    check_source_mentions(errors)
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"{len(errors)} dangling doc reference(s)", file=sys.stderr)
+        return 1
+    print("all markdown links and doc references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
