@@ -10,8 +10,16 @@
 //   --loss_rates   (cache-link loss probabilities; cooperative only)
 // on the parallel experiment runner (--threads=N workers, 0 = all cores),
 // printing a summary table and optionally dumping machine-readable output
-// (--json PATH, --csv PATH). The default grid is 1 x 3 x 3 x 4 x 2 = 72
-// configurations sized to finish in seconds.
+// (--json PATH; --csv PATH writes the full-precision deterministic
+// ResultsCsv grid, not the rounded display table). The default grid is
+// 1 x 3 x 3 x 4 x 2 = 72 configurations sized to finish in seconds.
+//
+// --topology=tree routes every cooperative job's refreshes through a
+// store-and-forward relay tree (--depth relay tiers of --fanout children;
+// cooperative-only, like multi-cache). --relay_factor sizes each relay
+// edge at factor x (leaves below) x B_C — 1 matches subtree demand, < 1
+// oversubscribes, 0 leaves relays pass-through (which reproduces the flat
+// numbers exactly; see tests/topology_test.cc).
 //
 // --workload selects the update streams the grid is scored on:
 //   synthetic (default) — each job rebuilds a Poisson random-walk workload
@@ -120,6 +128,36 @@ int Run(const BenchOptions& options) {
                  workload_mode.c_str());
     std::exit(2);
   }
+  const std::string topology_mode = options.flags.GetString("topology", "flat");
+  const bool tree = topology_mode == "tree";
+  if (!tree && topology_mode != "flat") {
+    std::fprintf(stderr, "--topology: unknown mode '%s' (flat, tree)\n",
+                 topology_mode.c_str());
+    std::exit(2);
+  }
+  const int relay_tiers = static_cast<int>(options.flags.GetInt("depth", 1));
+  const int relay_fanout = static_cast<int>(options.flags.GetInt("fanout", 2));
+  const double relay_factor = options.flags.GetDouble("relay_factor", 1.0);
+  if (tree && (relay_tiers < 1 || relay_fanout < 1 || relay_factor < 0.0)) {
+    std::fprintf(stderr,
+                 "--topology=tree needs --depth >= 1, --fanout >= 1, "
+                 "--relay_factor >= 0\n");
+    std::exit(2);
+  }
+  if (!tree) {
+    for (const char* flag : {"depth", "fanout", "relay_factor"}) {
+      if (options.flags.Has(flag)) {
+        std::fprintf(stderr, "--%s requires --topology=tree\n", flag);
+        std::exit(2);
+      }
+    }
+  }
+  if (tree && buoy) {
+    std::fprintf(stderr,
+                 "--topology=tree models multi-cache trees; --workload=buoy is "
+                 "single-cache flat only\n");
+    std::exit(2);
+  }
 
   std::vector<SchedulerKind> schedulers;
   for (const std::string& name :
@@ -207,9 +245,10 @@ int Run(const BenchOptions& options) {
         PolicySensitive(scheduler) ? static_cast<int>(policies.size()) : 1;
     for (int p = 0; p < num_policies; ++p) {
       for (int num_caches : cache_counts) {
-        // Multi-cache topologies are a cooperative-protocol feature; the
-        // baseline schedulers model the paper's single-cache star only.
-        if (num_caches > 1 && scheduler != SchedulerKind::kCooperative) {
+        // Multi-cache and relay-tree topologies are cooperative-protocol
+        // features; the baseline schedulers model the paper's single-cache
+        // one-hop star only.
+        if ((num_caches > 1 || tree) && scheduler != SchedulerKind::kCooperative) {
           ++skipped;
           continue;
         }
@@ -233,6 +272,14 @@ int Run(const BenchOptions& options) {
               // its jobs keep the base trace seed.)
               job.config.workload.seed =
                   DeriveJobSeed(options.seed, static_cast<uint64_t>(num_caches));
+              if (tree) {
+                // Same seed and interest map as the flat grid point: tree
+                // jobs score identical update streams, so topology effects
+                // are directly comparable against flat runs.
+                job.config.workload.relay_tiers = relay_tiers;
+                job.config.workload.relay_fanout = relay_fanout;
+                job.config.workload.relay_bandwidth_factor = relay_factor;
+              }
             }
             job.config.cache_bandwidth_avg = bandwidth;
             job.config.loss_rate = loss_rate;
@@ -244,6 +291,10 @@ int Run(const BenchOptions& options) {
                        ",B=" + TablePrinter::Cell(bandwidth) + ",loss=" +
                        (LossSensitive(scheduler) ? TablePrinter::Cell(loss_rate)
                                                  : std::string("-"));
+            if (tree) {
+              job.name += ",tree(d=" + std::to_string(relay_tiers) +
+                          ",f=" + std::to_string(relay_fanout) + ")";
+            }
             jobs.push_back(std::move(job));
           }
         }
@@ -260,7 +311,21 @@ int Run(const BenchOptions& options) {
       buoy ? RunExperimentsOnWorkload(buoy_workload, jobs, options.runner("sweep"))
            : RunExperiments(jobs, options.runner("sweep"));
 
-  EmitTable(ResultsTable(results), options);
+  // The printed table keeps its rounded display cells; --csv gets the
+  // full-precision deterministic grid instead (ResultsCsv: shortest
+  // round-trip numbers, no wall-clock column — byte-identical at any
+  // --threads, like the JSON).
+  BenchOptions table_options = options;
+  table_options.csv.clear();
+  EmitTable(ResultsTable(results), table_options);
+  if (!options.csv.empty()) {
+    const Status status = ResultsCsv(results).WriteCsv(options.csv);
+    if (!status.ok()) {
+      std::fprintf(stderr, "CSV write failed: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "wrote %s\n", options.csv.c_str());
+  }
   EmitJson(results, options);
   int failures = 0;
   for (const JobResult& job : results) {
@@ -280,5 +345,6 @@ int main(int argc, char** argv) {
   return besync::Run(besync::BenchOptions::Parse(
       argc, argv,
       {"schedulers", "policies", "caches", "bandwidths", "loss_rates", "sources",
-       "objects", "warmup", "measure", "workload", "buoys"}));
+       "objects", "warmup", "measure", "workload", "buoys", "topology", "depth",
+       "fanout", "relay_factor"}));
 }

@@ -35,6 +35,11 @@ void CompetitiveScheduler::Initialize(Harness* harness) {
   BESYNC_CHECK_EQ(num_caches(), 1)
       << "the competitive protocol (Section 7) is defined for the paper's "
          "single-cache topology; multi-cache rate partitioning is future work";
+  // Not a silent no-op: this SendPhase injects straight into cache_link(),
+  // so a relay tree built by the base Initialize would simply be bypassed.
+  BESYNC_CHECK_EQ(num_relays(), 0)
+      << "the competitive protocol models the one-hop star; relay "
+         "topologies are not supported";
   const int m = num_sources();
   granted_rate_.assign(m, 0.0);
   credit_.assign(m, 0.0);

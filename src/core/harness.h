@@ -78,6 +78,15 @@ struct SchedulerStats {
   double avg_cache_queue = 0.0;
   int64_t max_cache_queue = 0;
   double mean_threshold = 0.0;
+  /// Relay-tier stats (zero on flat topologies): refreshes store-and-
+  /// forwarded, mean store wait of a forwarded refresh, mean source-to-
+  /// forward transit lag of a forward event (upstream queueing included),
+  /// the largest store seen, and upstream control-mail hops relayed.
+  int64_t relays_forwarded = 0;
+  double relay_queue_delay_mean = 0.0;
+  double relay_transit_delay_mean = 0.0;
+  int64_t max_relay_store = 0;
+  int64_t relay_control_moved = 0;
 };
 
 /// Scheduler interface: a refresh-scheduling strategy driven by the Harness.

@@ -285,7 +285,8 @@ void SourceAgent::PushWake(Channel* channel, ObjectIndex index, double now) {
 }
 
 void SourceAgent::EmitRefresh(Channel* channel, ObjectIndex index, double now,
-                              Link* cache_link, bool bump_threshold) {
+                              Link* cache_link, bool bump_threshold,
+                              double priority) {
   const int slot = ChannelSlot(*channel, index);
   LocalState& state = channel->locals[slot];
   // Record the finishing interval's realized divergence rate before the
@@ -303,6 +304,7 @@ void SourceAgent::EmitRefresh(Channel* channel, ObjectIndex index, double now,
   // Piggyback the current (post-increase) threshold: the freshest
   // information the cache can have about this source.
   message.piggyback_threshold = channel->controller.threshold();
+  message.forward_priority = priority;
   cache_link->Enqueue(message);
   ++state.epoch;
   ++refreshes_sent_;
@@ -340,6 +342,8 @@ void SourceAgent::EmitBatch(Channel* channel, const std::vector<QueueEntry>& bat
   message.cost = 1;
   channel->controller.OnRefreshSent(now);
   message.piggyback_threshold = channel->controller.threshold();
+  // The batch was popped in priority order, so entry 0 holds its maximum.
+  message.forward_priority = batch.front().key;
   cache_link->Enqueue(message);
   channel->last_emit_time = now;
 }
@@ -378,7 +382,8 @@ int64_t SourceAgent::SendRefreshesEventKeyed(Channel* channel, double now,
       at_full_capacity_ = true;
       break;
     }
-    EmitRefresh(channel, top.index, now, cache_link, /*bump_threshold=*/true);
+    EmitRefresh(channel, top.index, now, cache_link, /*bump_threshold=*/true,
+                top.key);
     ++sent;
   }
   return sent;
@@ -438,7 +443,8 @@ int64_t SourceAgent::SendSecondary(double now, int64_t max_count, Link* source_l
       at_full_capacity_ = true;
       break;
     }
-    EmitRefresh(channel, top.index, now, cache_link, /*bump_threshold=*/false);
+    EmitRefresh(channel, top.index, now, cache_link, /*bump_threshold=*/false,
+                top.key);
     ++sent;
   }
   return sent;
@@ -465,7 +471,8 @@ int64_t SourceAgent::SendRefreshesTimeVarying(Channel* channel, double now,
     const int64_t cost = harness_->object(candidate.index).spec->refresh_cost;
     if (over_threshold && !at_full_capacity_ &&
         source_link->TryConsumeAllowingDeficit(cost)) {
-      EmitRefresh(channel, candidate.index, now, cache_link, /*bump_threshold=*/true);
+      EmitRefresh(channel, candidate.index, now, cache_link, /*bump_threshold=*/true,
+                  candidate.key);
       ++sent;
       PushWake(channel, candidate.index, now);  // re-arm from the new t_last
       continue;

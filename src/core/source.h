@@ -82,6 +82,13 @@ class SourceAgent {
   int64_t refreshes_sent() const { return refreshes_sent_; }
   double granted_rate() const { return granted_rate_; }
   size_t num_objects() const { return members_.size(); }
+  /// Entries (live + lazily-invalidated stale) in channel `k`'s priority
+  /// queue. MaybeCompact() keeps this bounded by 4x the channel's live
+  /// object count (+ a small constant), independent of how many updates the
+  /// run processed — pinned by the heap-growth regression test.
+  size_t queue_size(int k = 0) const { return channels_[k].queue.size(); }
+  /// Live objects replicated at channel `k`'s cache.
+  size_t channel_num_objects(int k = 0) const { return channels_[k].members.size(); }
 
   /// Registers an object hosted by this source. Objects of one source must
   /// form a contiguous index range (as produced by the workload generators).
@@ -186,9 +193,10 @@ class SourceAgent {
                           Simulation* sim);
   /// Sends one refresh for `index` to `channel`'s cache (budget already
   /// secured). Threshold bumping applies only to refreshes governed by the
-  /// threshold protocol.
+  /// threshold protocol. `priority` is the queue key that won the send slot,
+  /// stamped on the message for priority-preserving relay forwarding.
   void EmitRefresh(Channel* channel, ObjectIndex index, double now, Link* cache_link,
-                   bool bump_threshold);
+                   bool bump_threshold, double priority);
   /// Sends one batched message covering all of `batch` (unit cost).
   void EmitBatch(Channel* channel, const std::vector<QueueEntry>& batch, double now,
                  Link* cache_link);

@@ -1,6 +1,7 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/logging.h"
 
@@ -16,6 +17,15 @@ void CooperativeScheduler::Initialize(Harness* harness) {
   const double tick = harness->config().tick_length;
   const int num_caches = std::max(config_.num_caches, workload.num_caches);
 
+  // The config's topology wins over the workload's; both default to flat —
+  // the historical one-hop star.
+  const TopologySpec& topology =
+      !config_.topology.flat() ? config_.topology : workload.topology;
+  if (!topology.flat()) {
+    const Status status = topology.Validate(num_caches);
+    BESYNC_CHECK(status.ok()) << status.ToString();
+  }
+
   NetworkConfig net_config;
   net_config.num_sources = m;
   net_config.num_caches = num_caches;
@@ -23,16 +33,49 @@ void CooperativeScheduler::Initialize(Harness* harness) {
   net_config.cache_bandwidth_overrides = config_.cache_bandwidths;
   net_config.source_bandwidth_avg = config_.source_bandwidth_avg;
   net_config.bandwidth_change_rate = config_.bandwidth_change_rate;
+  net_config.topology = topology;
   network_ = std::make_unique<Network>(net_config, harness->scheduler_rng());
-  if (config_.loss_rate > 0.0) {
-    for (int c = 0; c < num_caches; ++c) {
-      network_->cache_link(c).SetLossRate(config_.loss_rate,
+  // Leaf-edge loss first, in cache order — the historical RNG consumption —
+  // then relay-edge loss (extra draws only on lossy relay edges, so a
+  // pass-through tree leaves the seed stream untouched).
+  for (int c = 0; c < num_caches; ++c) {
+    const double rate =
+        topology.EdgeValue(topology.edge_loss, c, config_.loss_rate);
+    if (rate > 0.0) {
+      network_->cache_link(c).SetLossRate(rate,
                                           harness->scheduler_rng()->NextUint64());
     }
+  }
+  relays_.clear();
+  relay_control_moved_ = 0;
+  for (int n = num_caches; n < network_->num_nodes(); ++n) {
+    const double rate = topology.EdgeValue(topology.edge_loss, n, 0.0);
+    if (rate > 0.0) {
+      network_->edge_link(n).SetLossRate(rate,
+                                         harness->scheduler_rng()->NextUint64());
+    }
+    relays_.push_back(std::make_unique<RelayAgent>(
+        n, config_.relay_forward, topology.EdgeValue(topology.edge_latency, n, 0.0)));
   }
 
   sources_by_cache_ = SourcesByCache(workload);
   sources_by_cache_.resize(static_cast<size_t>(num_caches));
+
+  // Per-node interested sources: a relay's list is the sorted union over
+  // its subtree's leaves (built leaves-upward so each child is final before
+  // its parent merges it).
+  sources_by_node_.assign(static_cast<size_t>(network_->num_nodes()), {});
+  for (int c = 0; c < num_caches; ++c) sources_by_node_[c] = sources_by_cache_[c];
+  for (int32_t relay_node : topology.flat() ? std::vector<int32_t>{}
+                                            : topology.RelaysBottomUp()) {
+    std::vector<int32_t>& merged = sources_by_node_[relay_node];
+    for (int32_t child : network_->children(relay_node)) {
+      std::vector<int32_t> combined;
+      std::set_union(merged.begin(), merged.end(), sources_by_node_[child].begin(),
+                     sources_by_node_[child].end(), std::back_inserter(combined));
+      merged = std::move(combined);
+    }
+  }
 
   // The paper's P_feedback estimate, per cache: sources interested in the
   // cache / the cache's average bandwidth. Floored at one tick: feedback is
@@ -89,6 +132,13 @@ CacheAgent& CooperativeScheduler::cache(int c) {
   return *caches_[c];
 }
 
+RelayAgent& CooperativeScheduler::relay(int32_t node) {
+  const int offset = node - num_caches();
+  BESYNC_CHECK_GE(offset, 0);
+  BESYNC_CHECK_LT(offset, num_relays());
+  return *relays_[offset];
+}
+
 void CooperativeScheduler::FillFeedback(Message* /*feedback*/, int /*source_index*/,
                                         double /*t*/) {}
 
@@ -100,9 +150,29 @@ void CooperativeScheduler::SendPhase(double t) {
     SourceAgent& agent = *sources_[j];
     Link* source_link = &network_->source_link(j);
     for (int k = 0; k < agent.num_channels(); ++k) {
+      // Refreshes enter the network at the cache's tier-1 ancestor edge
+      // (the cache link itself when flat) and are relayed the rest of the
+      // way by the relay phase.
       agent.SendRefreshes(t, source_link,
-                          &network_->cache_link(agent.channel_cache_id(k)), k);
+                          &network_->first_hop_link(agent.channel_cache_id(k)), k);
     }
+  }
+}
+
+void CooperativeScheduler::RelayPhase(double t) {
+  // Parents before children: with pass-through relays a refresh injected
+  // this tick cascades all the way to its leaf edge within the tick.
+  for (int32_t node : network_->downstream_relays()) {
+    RelayAgent& agent = relay(node);
+    network_->edge_link(node).DeliverQueued(
+        [&](const Message& message) { agent.OnArrival(message, t); });
+    Link* egress = &network_->relay_egress(node);
+    agent.Forward(
+        t, [egress](int64_t cost) { return egress->TryConsumeAllowingDeficit(cost); },
+        [&](const Message& message) {
+          network_->edge_link(network_->NextHop(node, message.cache_id))
+              .Enqueue(message);
+        });
   }
 }
 
@@ -111,17 +181,26 @@ void CooperativeScheduler::Tick(double t) {
   network_->BeginTick(t, tick);
 
   // 1. Deliver control messages (feedback) that arrived since last tick;
-  //    feedback from cache c adjusts T_{j,c} only.
-  for (int c = 0; c < num_caches(); ++c) {
-    for (int32_t j : sources_by_cache_[c]) {
-      for (const Message& message : network_->TakeSourceMail(c, j)) {
+  //    feedback from cache c adjusts T_{j,c} only. In a tree the relays
+  //    first pump the mail up to the tier-1 edges (same-tick, so control
+  //    latency stays one tick at any depth); flat tier-1 nodes are the
+  //    caches themselves and the pump is a no-op.
+  relay_control_moved_ += network_->PumpControlUpstream();
+  for (int32_t node : network_->tier1_nodes()) {
+    for (int32_t j : sources_by_node_[node]) {
+      for (const Message& message : network_->TakeSourceMail(node, j)) {
         sources_[j]->OnFeedback(message, t);
       }
     }
   }
 
-  // 2. Sources emit refreshes for over-threshold objects.
+  // 2. Sources emit refreshes for over-threshold objects (into the tier-1
+  //    edges of their target caches).
   SendPhase(t);
+
+  // 2b. Relays store-and-forward queued refreshes hop by hop toward the
+  //     leaves, each under its own ingress-edge and egress budgets.
+  RelayPhase(t);
 
   // 3. Every cache-side link delivers queued refreshes within its budget.
   for (int c = 0; c < num_caches(); ++c) {
@@ -161,6 +240,8 @@ void CooperativeScheduler::OnMeasurementStart(double /*t*/) {
     if (cache != nullptr) cache->ResetCounters();
   }
   for (auto& source : sources_) source->ResetCounters();
+  for (auto& relay : relays_) relay->ResetCounters();
+  relay_control_moved_ = 0;
 }
 
 void CooperativeScheduler::Finalize(double /*t*/) { network_->FinishTick(); }
@@ -198,6 +279,21 @@ SchedulerStats CooperativeScheduler::stats() const {
   stats.cache_utilization = capacity > 0.0 ? used / capacity : 0.0;
   stats.avg_cache_queue =
       queue_count > 0 ? queue_sum / static_cast<double>(queue_count) : 0.0;
+  double relay_delay_sum = 0.0, relay_transit_sum = 0.0;
+  for (const auto& relay : relays_) {
+    stats.relays_forwarded += relay->forwarded();
+    relay_delay_sum += relay->total_queue_delay();
+    relay_transit_sum += relay->total_transit_delay();
+    stats.max_relay_store = std::max(
+        stats.max_relay_store, static_cast<int64_t>(relay->max_store_size()));
+  }
+  if (stats.relays_forwarded > 0) {
+    stats.relay_queue_delay_mean =
+        relay_delay_sum / static_cast<double>(stats.relays_forwarded);
+    stats.relay_transit_delay_mean =
+        relay_transit_sum / static_cast<double>(stats.relays_forwarded);
+  }
+  stats.relay_control_moved = relay_control_moved_;
   return stats;
 }
 

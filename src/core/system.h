@@ -7,6 +7,7 @@
 
 #include "core/cache.h"
 #include "core/harness.h"
+#include "core/relay.h"
 #include "core/source.h"
 #include "net/network.h"
 #include "priority/priority.h"
@@ -47,6 +48,12 @@ struct CooperativeConfig {
   /// raises its priority over the threshold again — the protocol has no
   /// acknowledgments, by design.
   double loss_rate = 0.0;
+  /// Relay topology override. Flat (default) defers to the workload's
+  /// topology; a non-flat spec here wins. Either way, a flat result is the
+  /// historical one-hop star, bit for bit.
+  TopologySpec topology;
+  /// Order in which relays drain their stores (tree topologies only).
+  RelayForwardPolicy relay_forward = RelayForwardPolicy::kFifo;
 };
 
 /// "Our algorithm": the adaptive threshold-based cooperative refresh
@@ -78,11 +85,15 @@ class CooperativeScheduler : public Scheduler {
   // Introspection (tests, competitive subclass).
   int num_sources() const { return static_cast<int>(sources_.size()); }
   int num_caches() const { return static_cast<int>(caches_.size()); }
+  int num_relays() const { return static_cast<int>(relays_.size()); }
   const SourceAgent& source(int j) const { return *sources_[j]; }
   SourceAgent& mutable_source(int j) { return *sources_[j]; }
   Link& cache_link(int c = 0) { return network_->cache_link(c); }
+  Network& network() { return *network_; }
   /// Fails on caches no source is interested in (those stay agent-less).
   CacheAgent& cache(int c = 0);
+  /// Relay agent of topology node `node` (node >= num_caches; checked).
+  RelayAgent& relay(int32_t node);
 
  protected:
   /// Hook for subclasses to decorate outgoing feedback (competitive rate
@@ -93,6 +104,11 @@ class CooperativeScheduler : public Scheduler {
   /// interleave source-priority refreshes.
   virtual void SendPhase(double t);
 
+  /// The relay phase of the tick: each relay (parents first) drains its
+  /// ingress edge into its store, then forwards eligible refreshes one hop
+  /// toward their leaf under its egress budget. No-op on flat topologies.
+  void RelayPhase(double t);
+
   CooperativeConfig config_;
   Harness* harness_ = nullptr;
   std::unique_ptr<PriorityPolicy> policy_;
@@ -100,10 +116,17 @@ class CooperativeScheduler : public Scheduler {
   std::vector<std::unique_ptr<SourceAgent>> sources_;
   /// One agent per cache, in cache-id order.
   std::vector<std::unique_ptr<CacheAgent>> caches_;
+  /// One agent per relay node, indexed by node - num_caches (tree only).
+  std::vector<std::unique_ptr<RelayAgent>> relays_;
   /// Per cache: the ascending source ids with >= 1 object replicated there.
   std::vector<std::vector<int32_t>> sources_by_cache_;
+  /// Per topology node: the ascending source ids with >= 1 object
+  /// replicated somewhere in the node's subtree (leaf entries ==
+  /// sources_by_cache_). Drives the tier-1 feedback drain.
+  std::vector<std::vector<int32_t>> sources_by_node_;
   std::vector<int> source_order_;
   std::vector<int32_t> object_source_;
+  int64_t relay_control_moved_ = 0;
 };
 
 /// Scheduler-agnostic summary of one simulation run.

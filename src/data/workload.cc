@@ -58,6 +58,7 @@ Workload CloneWorkload(const Workload& workload) {
   clone.num_sources = workload.num_sources;
   clone.objects_per_source = workload.objects_per_source;
   clone.num_caches = workload.num_caches;
+  clone.topology = workload.topology;  // plain data, copyable
   clone.has_fluctuating_weights = workload.has_fluctuating_weights;
   clone.objects.reserve(workload.objects.size());
   for (const ObjectSpec& spec : workload.objects) {
@@ -136,6 +137,17 @@ Result<Workload> MakeWorkload(const WorkloadConfig& config) {
   if (config.large_cost < 1) {
     return Status::InvalidArgument("large_cost must be >= 1");
   }
+  if (config.relay_tiers < 0) {
+    return Status::InvalidArgument("relay_tiers must be >= 0, got ",
+                                   config.relay_tiers);
+  }
+  if (config.relay_tiers > 0 && config.relay_fanout < 1) {
+    return Status::InvalidArgument("relay_fanout must be >= 1, got ",
+                                   config.relay_fanout);
+  }
+  if (config.relay_bandwidth_factor < 0.0) {
+    return Status::InvalidArgument("relay_bandwidth_factor must be >= 0");
+  }
 
   // Random half-splits for rate, weight and cost skew, drawn independently
   // ("an independently- and randomly-selected half", Section 4.3).
@@ -157,6 +169,11 @@ Result<Workload> MakeWorkload(const WorkloadConfig& config) {
   workload.num_sources = config.num_sources;
   workload.objects_per_source = config.objects_per_source;
   workload.num_caches = config.num_caches;
+  if (config.relay_tiers > 0) {
+    workload.topology =
+        MakeRelayTree(config.num_caches, config.relay_fanout, config.relay_tiers);
+    workload.topology.relay_bandwidth_factor = config.relay_bandwidth_factor;
+  }
   workload.has_fluctuating_weights = config.weight_fluctuation_amplitude > 0.0;
   workload.objects.reserve(total);
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/object.h"
+#include "data/topology.h"
 #include "data/update_process.h"
 #include "util/fluctuation.h"
 #include "util/result.h"
@@ -67,6 +68,11 @@ struct Workload {
   /// Number of caches in the topology. 1 reproduces the paper's single-cache
   /// star of Figure 1.
   int num_caches = 1;
+  /// Relay topology between the sources and the caches. Flat (the default)
+  /// is the one-hop star the paper models; a tree routes refreshes through
+  /// store-and-forward relays (data/topology.h). Leaf count must equal
+  /// num_caches when non-flat.
+  TopologySpec topology;
   std::vector<ObjectSpec> objects;  // size m*n, grouped by source
   /// True if any weight fluctuates over time (enables periodic weight
   /// refresh in the divergence accounting).
@@ -149,6 +155,16 @@ struct WorkloadConfig {
   /// Zipf exponent of the replication-degree distribution (kZipfOverlap);
   /// larger = fewer widely-replicated objects.
   double zipf_overlap_exponent = 1.0;
+
+  /// Relay-tree knobs (0 tiers = the flat one-hop topology). When
+  /// relay_tiers > 0 the generated workload carries a
+  /// MakeRelayTree(num_caches, relay_fanout, relay_tiers) topology whose
+  /// relay edges default to relay_bandwidth_factor (data/topology.h) —
+  /// factor 0 keeps them pass-through. Consumes no generator randomness, so
+  /// the object specs and RNG seeds are identical to the flat workload's.
+  int relay_tiers = 0;
+  int relay_fanout = 2;
+  double relay_bandwidth_factor = 0.0;
 
   /// kPoisson: continuous-time Poisson updates (Section 6.2);
   /// kBernoulli: per-second update probability (Section 4.3).

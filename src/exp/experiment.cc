@@ -41,6 +41,8 @@ std::unique_ptr<Scheduler> MakeScheduler(const ExperimentConfig& config) {
       cooperative.source.max_batch = config.max_batch;
       cooperative.source.max_batch_delay = config.max_batch_delay;
       cooperative.loss_rate = config.loss_rate;
+      cooperative.topology = config.topology;
+      cooperative.relay_forward = config.relay_forward;
       return std::make_unique<CooperativeScheduler>(cooperative);
     }
     case SchedulerKind::kIdealCooperative: {
@@ -83,6 +85,18 @@ std::unique_ptr<Scheduler> MakeScheduler(const ExperimentConfig& config) {
 Result<RunResult> RunExperimentOnWorkload(const ExperimentConfig& config,
                                           const Workload* workload) {
   if (workload == nullptr) return Status::InvalidArgument("null workload");
+  const bool tree_topology =
+      !config.topology.flat() || !workload->topology.flat();
+  if (tree_topology && config.scheduler != SchedulerKind::kCooperative) {
+    return Status::InvalidArgument(
+        "relay topologies are a cooperative-protocol feature; scheduler ",
+        SchedulerKindToString(config.scheduler), " models the one-hop star only");
+  }
+  if (!config.topology.flat()) {
+    BESYNC_RETURN_IF_ERROR(config.topology.Validate(workload->num_caches));
+  } else if (!workload->topology.flat()) {
+    BESYNC_RETURN_IF_ERROR(workload->topology.Validate(workload->num_caches));
+  }
   const std::unique_ptr<DivergenceMetric> metric = MakeMetric(config.metric);
   const std::unique_ptr<Scheduler> scheduler = MakeScheduler(config);
   return RunScheduler(workload, metric.get(), config.harness, scheduler.get());

@@ -49,6 +49,15 @@ struct ExperimentConfig {
   /// Maximum relative bandwidth change rate mB.
   double bandwidth_change_rate = 0.0;
 
+  /// Relay topology override for the cooperative scheduler. Flat (default)
+  /// defers to the workload's topology (e.g. WorkloadConfig::relay_tiers);
+  /// a non-flat spec here wins — benches use it to pin absolute per-edge
+  /// bandwidths. Baseline schedulers model the one-hop star only: running
+  /// them on a non-flat topology is an InvalidArgument.
+  TopologySpec topology;
+  /// Relay store-drain order (tree topologies): FIFO or priority-preserving.
+  RelayForwardPolicy relay_forward = RelayForwardPolicy::kFifo;
+
   /// Priority policy for the cooperative/ideal schedulers.
   PolicyKind policy = PolicyKind::kArea;
   /// Threshold algorithm parameters (cooperative scheduler).

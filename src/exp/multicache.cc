@@ -29,6 +29,15 @@ Result<std::vector<MulticachePoint>> RunMulticacheSweep(
         job.config.cache_bandwidth_avg =
             config.base.cache_bandwidth_avg / static_cast<double>(num_caches);
       }
+      if (!config.topology.flat()) {
+        if (const Status status = config.topology.Validate(num_caches);
+            !status.ok()) {
+          return status;
+        }
+        job.config.topology = config.topology;
+        job.config.relay_forward = config.relay_forward;
+        job.name += "/" + TopologyLabel(config.topology);
+      }
       jobs.push_back(std::move(job));
     }
   }
@@ -53,6 +62,93 @@ Result<std::vector<MulticachePoint>> RunMulticacheSweep(
       point.wall_seconds = job.wall_seconds;
       points.push_back(std::move(point));
     }
+  }
+  return points;
+}
+
+Result<std::vector<TopologySweepPoint>> RunTopologySweep(
+    const TopologySweepConfig& config, std::vector<JobResult>* raw_results) {
+  const int leaves = config.base.workload.num_caches;
+  if (leaves < 1) return Status::InvalidArgument("workload.num_caches must be >= 1");
+  if (config.fanout < 1) return Status::InvalidArgument("fanout must be >= 1");
+  if (config.forward_policies.empty()) {
+    return Status::InvalidArgument("forward_policies must be non-empty");
+  }
+  // The capacity budget being held constant across depths: the flat
+  // topology's total leaf-edge bandwidth.
+  const double total_bandwidth =
+      config.base.cache_bandwidth_avg * static_cast<double>(leaves);
+
+  struct PointShape {
+    int relay_tiers;
+    RelayForwardPolicy forward;
+    int num_edges;
+    double leaf_edge_bandwidth;
+  };
+  std::vector<ExperimentJob> jobs;
+  std::vector<PointShape> shapes;
+  for (int tiers : config.relay_tier_counts) {
+    if (tiers < 0) return Status::InvalidArgument("relay tier counts must be >= 0");
+    TopologySpec spec = MakeRelayTree(leaves, config.fanout, tiers);
+    // Edge e gets the share of the total proportional to the leaves whose
+    // traffic crosses it; all leaf edges weigh 1, so they share one value.
+    const std::vector<int64_t> weights = spec.SubtreeLeafCounts();
+    double weight_sum = 0.0;
+    for (int64_t w : weights) weight_sum += static_cast<double>(w);
+    const int num_edges = tiers == 0 ? leaves : spec.num_nodes();
+    const double leaf_bandwidth =
+        tiers == 0 ? config.base.cache_bandwidth_avg
+                   : total_bandwidth / weight_sum;
+    if (tiers > 0) {
+      spec.edge_bandwidth.resize(static_cast<size_t>(spec.num_nodes()));
+      spec.relay_egress_bandwidth.assign(static_cast<size_t>(spec.num_nodes()), 0.0);
+      for (int n = 0; n < spec.num_nodes(); ++n) {
+        spec.edge_bandwidth[n] =
+            total_bandwidth * static_cast<double>(weights[n]) / weight_sum;
+        // Symmetric relay: forwarding capacity == uplink capacity (left at
+        // 0 for leaves, which have no egress).
+        if (n >= leaves) spec.relay_egress_bandwidth[n] = spec.edge_bandwidth[n];
+      }
+    }
+    // Flat has no store to order, so only the first policy runs there.
+    const int num_policies =
+        tiers == 0 ? 1 : static_cast<int>(config.forward_policies.size());
+    for (int p = 0; p < num_policies; ++p) {
+      const RelayForwardPolicy forward = config.forward_policies[p];
+      ExperimentJob job;
+      job.config = config.base;
+      job.config.scheduler = SchedulerKind::kCooperative;
+      job.config.topology = spec;
+      job.config.relay_forward = forward;
+      // Leaf links resolve from the topology's absolute edge bandwidths;
+      // keep the scalar consistent for JSON/table grid coordinates.
+      job.config.cache_bandwidth_avg = leaf_bandwidth;
+      job.name = tiers == 0 ? "flat"
+                            : std::to_string(tiers + 1) + "-tier(f=" +
+                                  std::to_string(config.fanout) + ")," +
+                                  RelayForwardPolicyToString(forward);
+      jobs.push_back(std::move(job));
+      shapes.push_back(PointShape{tiers, forward, num_edges, leaf_bandwidth});
+    }
+  }
+
+  RunnerOptions options;
+  options.threads = config.threads;
+  const std::vector<JobResult> results = RunExperiments(jobs, options);
+  if (raw_results != nullptr) *raw_results = results;
+
+  std::vector<TopologySweepPoint> points;
+  points.reserve(results.size());
+  for (size_t k = 0; k < results.size(); ++k) {
+    if (!results[k].status.ok()) return results[k].status;
+    TopologySweepPoint point;
+    point.relay_tiers = shapes[k].relay_tiers;
+    point.forward = shapes[k].forward;
+    point.num_edges = shapes[k].num_edges;
+    point.leaf_edge_bandwidth = shapes[k].leaf_edge_bandwidth;
+    point.result = results[k].result;
+    point.wall_seconds = results[k].wall_seconds;
+    points.push_back(std::move(point));
   }
   return points;
 }

@@ -26,6 +26,13 @@ struct MulticacheConfig {
   /// capacity grows with the topology); false: the base bandwidth is split
   /// evenly across caches (fixed total capacity).
   bool bandwidth_per_cache = true;
+  /// Relay topology applied to every sweep point (data/topology.h). Flat
+  /// (default) keeps the historical one-hop sweep; a non-flat spec requires
+  /// every swept cache count to equal its leaf count, so combine it with a
+  /// single-entry `cache_counts`.
+  TopologySpec topology;
+  /// Relay store-drain order when `topology` is a tree.
+  RelayForwardPolicy relay_forward = RelayForwardPolicy::kFifo;
   /// Worker threads for the sweep; 1 = sequential, <= 0 = hardware
   /// concurrency. Each point is an independent job that rebuilds its private
   /// workload from the base config (the runner's config-rebuild path —
@@ -52,6 +59,48 @@ struct MulticachePoint {
 /// also in pattern-major order, even when the sweep returns an error.
 Result<std::vector<MulticachePoint>> RunMulticacheSweep(
     const MulticacheConfig& config, std::vector<JobResult>* raw_results = nullptr);
+
+/// Sweep over relay-tree depths at matched total edge bandwidth: the flat
+/// per-cache budget base.cache_bandwidth_avg x num_caches is redistributed
+/// over *all* edges of each tree, each edge weighted by the leaves in its
+/// subtree (so deeper topologies trade per-hop capacity for aggregation —
+/// the relay-placement question of the CDN literature). Relay egress
+/// budgets mirror the relay's ingress edge (symmetric store-and-forward
+/// relays).
+struct TopologySweepConfig {
+  /// Base experiment: workload shape (workload.num_caches leaves; use a
+  /// multi-cache interest pattern), harness timing, per-leaf flat bandwidth
+  /// (cache_bandwidth_avg). The scheduler is always cooperative.
+  ExperimentConfig base;
+  /// Relay tier counts to sweep; 0 = the flat one-hop star.
+  std::vector<int> relay_tier_counts = {0, 1, 2};
+  /// Children per relay in the generated trees.
+  int fanout = 2;
+  /// Forwarding policies swept at each tree depth (flat runs once — it has
+  /// no relays to order).
+  std::vector<RelayForwardPolicy> forward_policies = {RelayForwardPolicy::kFifo,
+                                                      RelayForwardPolicy::kPriority};
+  /// Worker threads; 1 = sequential, <= 0 = hardware concurrency.
+  int threads = 1;
+};
+
+/// One topology sweep point.
+struct TopologySweepPoint {
+  int relay_tiers = 0;
+  RelayForwardPolicy forward = RelayForwardPolicy::kFifo;
+  /// Edges in the topology (leaves + relays) and the per-leaf-edge share of
+  /// the matched total bandwidth.
+  int num_edges = 0;
+  double leaf_edge_bandwidth = 0.0;
+  RunResult result;
+  double wall_seconds = 0.0;
+};
+
+/// Runs the sweep, tiers-major / policy-minor. When `raw_results` is
+/// non-null it receives the underlying runner JobResults in the same order,
+/// even when the sweep returns an error.
+Result<std::vector<TopologySweepPoint>> RunTopologySweep(
+    const TopologySweepConfig& config, std::vector<JobResult>* raw_results = nullptr);
 
 }  // namespace besync
 

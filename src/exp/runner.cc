@@ -220,4 +220,36 @@ TablePrinter ResultsTable(const std::vector<JobResult>& results) {
   return table;
 }
 
+TablePrinter ResultsCsv(const std::vector<JobResult>& results) {
+  TablePrinter table({"name", "scheduler", "policy", "metric", "num_caches",
+                      "cache_bandwidth_avg", "source_bandwidth_avg", "loss_rate",
+                      "workload_seed", "ok", "total_weighted_divergence",
+                      "per_object_weighted", "per_object_unweighted",
+                      "total_replicas", "refreshes_sent", "refreshes_delivered",
+                      "feedback_sent", "polls_sent", "cache_utilization", "error"});
+  for (const JobResult& job : results) {
+    const RunResult& r = job.result;
+    table.AddRow({job.name, SchedulerKindToString(job.config.scheduler),
+                  PolicyKindToString(job.config.policy),
+                  MetricKindToString(job.config.metric),
+                  TablePrinter::Cell(job.config.workload.num_caches),
+                  JsonNumber(job.config.cache_bandwidth_avg),
+                  JsonNumber(job.config.source_bandwidth_avg),
+                  JsonNumber(job.config.loss_rate),
+                  std::to_string(job.config.workload.seed),
+                  job.status.ok() ? "true" : "false",
+                  JsonNumber(r.total_weighted_divergence),
+                  JsonNumber(r.per_object_weighted),
+                  JsonNumber(r.per_object_unweighted),
+                  TablePrinter::Cell(r.total_replicas),
+                  TablePrinter::Cell(r.scheduler.refreshes_sent),
+                  TablePrinter::Cell(r.scheduler.refreshes_delivered),
+                  TablePrinter::Cell(r.scheduler.feedback_sent),
+                  TablePrinter::Cell(r.scheduler.polls_sent),
+                  JsonNumber(r.scheduler.cache_utilization),
+                  job.status.ok() ? "" : job.status.ToString()});
+  }
+  return table;
+}
+
 }  // namespace besync

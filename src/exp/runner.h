@@ -114,6 +114,13 @@ Status WriteResultsJson(const std::string& path, const std::vector<JobResult>& r
 /// (benches with bespoke layouts assemble their own from the results).
 TablePrinter ResultsTable(const std::vector<JobResult>& results);
 
+/// Machine-readable counterpart of ResultsTable for --csv export: the same
+/// per-job rows with every numeric column in shortest round-trip precision
+/// (the JSON formatter) and the nondeterministic wall-clock column dropped,
+/// so a fixed grid's CSV — like its JSON — is byte-identical at any thread
+/// count. Lets sweep consumers skip JSON post-processing entirely.
+TablePrinter ResultsCsv(const std::vector<JobResult>& results);
+
 }  // namespace besync
 
 #endif  // BESYNC_EXP_RUNNER_H_

@@ -63,6 +63,11 @@ struct Message {
   /// Transmission cost in bandwidth units (object sizes may differ,
   /// Section 10.1). Default: the paper's unit-size model.
   int64_t cost = 1;
+  /// Refresh priority at emission time (the priority-queue key that made
+  /// the source send this refresh). Relays running the priority-preserving
+  /// forwarding policy order their store by it; FIFO forwarding and the
+  /// flat topology ignore it.
+  double forward_priority = 0.0;
   /// Additional refreshes batched into this message (empty for the default
   /// one-object-per-message model). The primary fields describe the first
   /// object; a batch of k objects still costs `cost` units — that is the

@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -17,6 +18,16 @@ Network::Network(const NetworkConfig& config, Rng* rng) : config_(config) {
   BESYNC_CHECK_GE(config.num_sources, 1);
   BESYNC_CHECK_GE(config.num_caches, 1);
   BESYNC_CHECK_GT(config.cache_bandwidth_avg, 0.0);
+  const TopologySpec& topology = config_.topology;
+  if (!topology.flat()) {
+    const Status status = topology.Validate(config.num_caches);
+    BESYNC_CHECK(status.ok()) << status.ToString();
+  }
+
+  // Leaf (cache) ingress links first, then source links — the historical
+  // construction order, so the flat topology (and a pass-through tree,
+  // whose relay links draw no randomness) consumes `rng` identically to
+  // the pre-relay engine.
   cache_links_.reserve(config.num_caches);
   for (int c = 0; c < config.num_caches; ++c) {
     double bandwidth = config.cache_bandwidth_avg;
@@ -24,6 +35,7 @@ Network::Network(const NetworkConfig& config, Rng* rng) : config_(config) {
         config.cache_bandwidth_overrides[c] > 0.0) {
       bandwidth = config.cache_bandwidth_overrides[c];
     }
+    bandwidth = topology.EdgeValue(topology.edge_bandwidth, c, bandwidth);
     cache_links_.push_back(std::make_unique<Link>(
         config.num_caches == 1 ? "cache" : "cache-" + std::to_string(c),
         std::make_unique<BandwidthModel>(MakeBandwidthFluctuation(
@@ -41,24 +53,92 @@ Network::Network(const NetworkConfig& config, Rng* rng) : config_(config) {
         std::make_unique<BandwidthModel>(
             MakeBandwidthFluctuation(source_bw, source_change_rate, rng))));
   }
+
+  // Relay ingress/egress links and routing tables (tree topologies only).
+  first_hop_.resize(static_cast<size_t>(config.num_caches));
+  for (int c = 0; c < config.num_caches; ++c) first_hop_[c] = c;
+  children_.resize(static_cast<size_t>(
+      topology.flat() ? config.num_caches : topology.num_nodes()));
+  if (!topology.flat()) {
+    const int nodes = topology.num_nodes();
+    const std::vector<int64_t> leaves_below = topology.SubtreeLeafCounts();
+    relay_links_.reserve(static_cast<size_t>(topology.num_relays()));
+    relay_egress_.reserve(static_cast<size_t>(topology.num_relays()));
+    for (int n = config.num_caches; n < nodes; ++n) {
+      // Relay edge default: demand-proportional share (factor x leaves x
+      // per-leaf bandwidth), or unconstrained when no factor is set — the
+      // pass-through configuration.
+      double fallback =
+          topology.relay_bandwidth_factor > 0.0
+              ? topology.relay_bandwidth_factor *
+                    static_cast<double>(leaves_below[n]) * config.cache_bandwidth_avg
+              : kUnconstrainedBandwidth;
+      const double ingress_bw =
+          topology.EdgeValue(topology.edge_bandwidth, n, fallback);
+      const bool ingress_unconstrained = ingress_bw >= kUnconstrainedBandwidth;
+      relay_links_.push_back(std::make_unique<Link>(
+          "relay-" + std::to_string(n),
+          std::make_unique<BandwidthModel>(MakeBandwidthFluctuation(
+              ingress_bw,
+              ingress_unconstrained ? 0.0 : config.bandwidth_change_rate, rng))));
+      // Egress default: mirror the resolved ingress (a symmetric relay);
+      // unconstrained ingress means unconstrained egress.
+      const double egress_bw =
+          topology.EdgeValue(topology.relay_egress_bandwidth, n, ingress_bw);
+      const bool egress_unconstrained = egress_bw >= kUnconstrainedBandwidth;
+      relay_egress_.push_back(std::make_unique<Link>(
+          "relay-" + std::to_string(n) + "-egress",
+          std::make_unique<BandwidthModel>(MakeBandwidthFluctuation(
+              egress_bw,
+              egress_unconstrained ? 0.0 : config.bandwidth_change_rate, rng))));
+    }
+
+    for (int n = 0; n < nodes; ++n) {
+      const int32_t p = topology.parent[n];
+      if (p != -1) children_[p].push_back(static_cast<int32_t>(n));
+    }
+    next_hop_.assign(static_cast<size_t>(topology.num_relays()),
+                     std::vector<int32_t>(static_cast<size_t>(config.num_caches), -1));
+    for (int leaf = 0; leaf < config.num_caches; ++leaf) {
+      int32_t below = static_cast<int32_t>(leaf);
+      int32_t node = topology.parent[leaf];
+      while (node != -1) {
+        next_hop_[node - config.num_caches][leaf] = below;
+        below = node;
+        node = topology.parent[node];
+      }
+      first_hop_[leaf] = below;
+    }
+    upstream_relays_ = topology.RelaysBottomUp();
+    downstream_relays_ = topology.RelaysTopDown();
+    for (int n = 0; n < nodes; ++n) {
+      if (topology.parent[n] == -1) tier1_nodes_.push_back(static_cast<int32_t>(n));
+    }
+  } else {
+    tier1_nodes_.resize(static_cast<size_t>(config.num_caches));
+    for (int c = 0; c < config.num_caches; ++c) tier1_nodes_[c] = c;
+  }
+
   const size_t slots =
-      static_cast<size_t>(config.num_caches) * static_cast<size_t>(config.num_sources);
+      static_cast<size_t>(num_nodes()) * static_cast<size_t>(config.num_sources);
   mail_incoming_.resize(slots);
   mail_deliverable_.resize(slots);
 }
 
-size_t Network::MailSlot(int cache_id, int source_index) const {
-  BESYNC_CHECK_GE(cache_id, 0);
-  BESYNC_CHECK_LT(cache_id, num_caches());
+size_t Network::MailSlot(int node, int source_index) const {
+  BESYNC_CHECK_GE(node, 0);
+  BESYNC_CHECK_LT(node, num_nodes());
   BESYNC_CHECK_GE(source_index, 0);
   BESYNC_CHECK_LT(source_index, num_sources());
-  return static_cast<size_t>(cache_id) * static_cast<size_t>(num_sources()) +
+  return static_cast<size_t>(node) * static_cast<size_t>(num_sources()) +
          static_cast<size_t>(source_index);
 }
 
 void Network::BeginTick(double tick_start, double tick_len) {
   for (auto& link : cache_links_) link->BeginTick(tick_start, tick_len);
   for (auto& link : source_links_) link->BeginTick(tick_start, tick_len);
+  for (auto& link : relay_links_) link->BeginTick(tick_start, tick_len);
+  for (auto& link : relay_egress_) link->BeginTick(tick_start, tick_len);
   for (size_t slot = 0; slot < mail_incoming_.size(); ++slot) {
     for (auto& message : mail_incoming_[slot]) {
       mail_deliverable_[slot].push_back(std::move(message));
@@ -85,7 +165,41 @@ Link& Network::source_link(int source_index) {
   return *source_links_[source_index];
 }
 
+Link& Network::edge_link(int node) {
+  if (node < num_caches()) return cache_link(node);
+  return relay_ingress(node);
+}
+
+Link& Network::relay_ingress(int node) {
+  BESYNC_CHECK_GE(node, num_caches());
+  BESYNC_CHECK_LT(node, num_nodes());
+  return *relay_links_[node - num_caches()];
+}
+
+Link& Network::relay_egress(int node) {
+  BESYNC_CHECK_GE(node, num_caches());
+  BESYNC_CHECK_LT(node, num_nodes());
+  return *relay_egress_[node - num_caches()];
+}
+
+const std::vector<int32_t>& Network::children(int node) const {
+  BESYNC_CHECK_GE(node, 0);
+  BESYNC_CHECK_LT(node, num_nodes());
+  return children_[node];
+}
+
+int32_t Network::NextHop(int node, int cache_id) const {
+  BESYNC_CHECK_GE(node, num_caches());
+  BESYNC_CHECK_LT(node, num_nodes());
+  BESYNC_CHECK_GE(cache_id, 0);
+  BESYNC_CHECK_LT(cache_id, num_caches());
+  const int32_t hop = next_hop_[node - num_caches()][cache_id];
+  BESYNC_CHECK_GE(hop, 0) << "cache " << cache_id << " is not below relay " << node;
+  return hop;
+}
+
 void Network::SendToSource(int cache_id, int source_index, Message message) {
+  BESYNC_CHECK_LT(cache_id, num_caches());
   message.cache_id = cache_id;
   mail_incoming_[MailSlot(cache_id, source_index)].push_back(std::move(message));
 }
@@ -94,22 +208,46 @@ void Network::SendToSource(int source_index, Message message) {
   SendToSource(/*cache_id=*/0, source_index, std::move(message));
 }
 
-std::vector<Message> Network::TakeSourceMail(int cache_id, int source_index) {
-  return std::exchange(mail_deliverable_[MailSlot(cache_id, source_index)], {});
+int64_t Network::PumpControlUpstream() {
+  int64_t moved = 0;
+  // Children before parents: a relay drains its children's edges after any
+  // lower relay has already pushed mail onto them, so every message reaches
+  // its tier-1 edge within one pump.
+  for (int32_t relay : upstream_relays_) {
+    for (int32_t child : children_[relay]) {
+      for (int j = 0; j < num_sources(); ++j) {
+        auto& from = mail_deliverable_[MailSlot(child, j)];
+        if (from.empty()) continue;
+        auto& to = mail_deliverable_[MailSlot(relay, j)];
+        moved += static_cast<int64_t>(from.size());
+        for (auto& message : from) to.push_back(std::move(message));
+        from.clear();
+      }
+    }
+  }
+  return moved;
+}
+
+std::vector<Message> Network::TakeSourceMail(int node, int source_index) {
+  return std::exchange(mail_deliverable_[MailSlot(node, source_index)], {});
 }
 
 std::vector<Message> Network::TakeSourceMail(int source_index) {
-  return TakeSourceMail(/*cache_id=*/0, source_index);
+  return TakeSourceMail(/*node=*/0, source_index);
 }
 
 void Network::FinishTick() {
   for (auto& link : cache_links_) link->FinishTick();
   for (auto& link : source_links_) link->FinishTick();
+  for (auto& link : relay_links_) link->FinishTick();
+  for (auto& link : relay_egress_) link->FinishTick();
 }
 
 void Network::ResetStats() {
   for (auto& link : cache_links_) link->ResetStats();
   for (auto& link : source_links_) link->ResetStats();
+  for (auto& link : relay_links_) link->ResetStats();
+  for (auto& link : relay_egress_) link->ResetStats();
 }
 
 }  // namespace besync

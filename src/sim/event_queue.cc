@@ -16,14 +16,6 @@ double EventQueue::NextTime() const {
   return entries_.front().time;
 }
 
-EventCallback EventQueue::Pop() {
-  BESYNC_CHECK(!entries_.empty());
-  std::pop_heap(entries_.begin(), entries_.end(), Later);
-  EventCallback callback = std::move(entries_.back().callback);
-  entries_.pop_back();
-  return callback;
-}
-
 void EventQueue::PopInto(double* time, EventCallback* callback) {
   BESYNC_CHECK(!entries_.empty());
   std::pop_heap(entries_.begin(), entries_.end(), Later);

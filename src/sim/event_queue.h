@@ -27,11 +27,11 @@ class EventQueue {
   /// Timestamp of the earliest event; queue must be non-empty.
   double NextTime() const;
 
-  /// Removes and returns the earliest event's callback (time via NextTime()
-  /// beforehand, or use PopInto).
-  EventCallback Pop();
-
   /// Pops the earliest event into (time, callback); queue must be non-empty.
+  /// This is deliberately the only pop: a callback-only overload invited
+  /// firing events with a caller-supplied timestamp that silently
+  /// disagreed with the event's own (peek NextTime() first if only the
+  /// time is needed).
   void PopInto(double* time, EventCallback* callback);
 
  private:

@@ -280,5 +280,122 @@ TEST(HarnessTest, UpdateStreamsIdenticalAcrossSchedulers) {
   EXPECT_EQ(versions_a, versions_b);
 }
 
+// ------------------------------------ batched-payload delivery (Harness)
+
+/// Injects one hand-built batched refresh (primary object 0, piggybacked
+/// payloads for objects 1 and 2) at t >= 5, then one message carrying a
+/// *stale* payload for object 1, and records what was shipped.
+class PayloadInjectingScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "payload-injector"; }
+  void Initialize(Harness* harness) override { harness_ = harness; }
+  void OnObjectUpdate(ObjectIndex, double) override {}
+
+  void Tick(double t) override {
+    if (injected_ || t < 5.0) return;
+    injected_ = true;
+    Message message = harness_->MakeRefreshMessage(0, t);
+    for (ObjectIndex index : {ObjectIndex{1}, ObjectIndex{2}}) {
+      const Message part = harness_->MakeRefreshMessage(index, t);
+      message.extra_refreshes.push_back(
+          RefreshPayload{part.object_index, part.value, part.version});
+    }
+    delivered_values_ = {message.value, message.extra_refreshes[0].value,
+                         message.extra_refreshes[1].value};
+    delivered_versions_ = {message.version, message.extra_refreshes[0].version,
+                           message.extra_refreshes[1].version};
+    harness_->DeliverRefresh(message, t);
+
+    // A second batched message whose payload for object 1 is stale
+    // (version 0 predates the delivery above): it must not regress the
+    // replica even though it rides a fresh primary.
+    Message stale = harness_->MakeRefreshMessage(0, t);
+    stale.extra_refreshes.push_back(RefreshPayload{1, /*value=*/1e9, /*version=*/0});
+    harness_->DeliverRefresh(stale, t);
+  }
+
+  Harness* harness_ = nullptr;
+  bool injected_ = false;
+  std::vector<double> delivered_values_;
+  std::vector<int64_t> delivered_versions_;
+};
+
+TEST(HarnessTest, ExtraRefreshPayloadsReachEveryGroundTruthReplica) {
+  WorkloadConfig wl = SmallWorkload(1, 4, 11);
+  wl.rate_lo = 0.2;
+  wl.rate_hi = 0.5;
+  Workload workload = std::move(MakeWorkload(wl)).ValueOrDie();
+  auto metric = MakeMetric(MetricKind::kValueDeviation);
+  HarnessConfig config;
+  config.warmup = 0.0;
+  config.measure = 20.0;
+  Harness harness(&workload, metric.get(), config);
+  // A second observer must see the piggybacked applies too.
+  GroundTruth second_view(&workload, metric.get());
+  harness.AddGroundTruth(&second_view);
+  PayloadInjectingScheduler scheduler;
+  ASSERT_TRUE(harness.Run(&scheduler).ok());
+  ASSERT_TRUE(scheduler.injected_);
+  ASSERT_EQ(scheduler.delivered_versions_.size(), 3u);
+
+  for (GroundTruth* view : {&harness.ground_truth(), &second_view}) {
+    // Objects 0..2 hold exactly the batched payloads (nothing else was
+    // ever delivered; the stale follow-up must not have regressed 1).
+    for (ObjectIndex i : {ObjectIndex{0}, ObjectIndex{1}, ObjectIndex{2}}) {
+      EXPECT_EQ(view->cached_version(i), scheduler.delivered_versions_[i]) << i;
+      EXPECT_EQ(view->cached_value(i), scheduler.delivered_values_[i]) << i;
+    }
+    // Object 3 was never refreshed.
+    EXPECT_EQ(view->cached_version(3), 0);
+  }
+  // MakeRefreshMessage reset the source-side trackers for all three
+  // batched objects — they model the cache as holding the shipped version.
+  for (ObjectIndex i : {ObjectIndex{0}, ObjectIndex{1}, ObjectIndex{2}}) {
+    EXPECT_GE(harness.object(i).tracker().last_refresh_time(), 5.0) << i;
+  }
+  EXPECT_LT(harness.object(3).tracker().last_refresh_time(), 0.5);
+}
+
+// ------------------------------------- priority-heap growth bound
+
+TEST(SourceAgentHeapTest, QueueMemoryProportionalToObjectsNotUpdates) {
+  // Fast updaters against a starved cache link: almost every update only
+  // piles a fresh entry onto the priority queue (the object rarely wins a
+  // send slot). Without automatic compaction the heap would grow with the
+  // update count (~hundreds of thousands here); MaybeCompact keeps it
+  // within 4x the live object count.
+  WorkloadConfig wl = SmallWorkload(2, 20, 7);
+  wl.rate_lo = 2.0;
+  wl.rate_hi = 5.0;
+  Workload workload = std::move(MakeWorkload(wl)).ValueOrDie();
+  auto metric = MakeMetric(MetricKind::kValueDeviation);
+  HarnessConfig harness_config;
+  harness_config.warmup = 0.0;
+  harness_config.measure = 1500.0;
+  Harness harness(&workload, metric.get(), harness_config);
+  CooperativeConfig config;
+  config.cache_bandwidth_avg = 1.0;
+  CooperativeScheduler scheduler(config);
+  ASSERT_TRUE(harness.Run(&scheduler).ok());
+
+  int64_t total_updates = 0;
+  for (const auto& object : harness.objects()) total_updates += object.state.version;
+
+  int64_t total_bound = 0;
+  for (int j = 0; j < scheduler.num_sources(); ++j) {
+    const SourceAgent& source = scheduler.source(j);
+    for (int k = 0; k < source.num_channels(); ++k) {
+      // The compaction trigger: 4 x live objects + 64, +1 for the push
+      // that can land just before compaction runs.
+      const size_t bound = 4 * source.channel_num_objects(k) + 65;
+      EXPECT_LE(source.queue_size(k), bound) << "source " << j << " channel " << k;
+      total_bound += static_cast<int64_t>(bound);
+    }
+  }
+  // The bound is meaningful only if the run really processed far more
+  // updates than the heaps are allowed to hold.
+  EXPECT_GT(total_updates, 50 * total_bound);
+}
+
 }  // namespace
 }  // namespace besync

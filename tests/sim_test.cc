@@ -14,11 +14,16 @@ TEST(EventQueueTest, OrdersByTime) {
   queue.Push(3.0, [&fired](double) { fired.push_back(3); });
   queue.Push(1.0, [&fired](double) { fired.push_back(1); });
   queue.Push(2.0, [&fired](double) { fired.push_back(2); });
+  std::vector<double> times;
   while (!queue.empty()) {
-    auto callback = queue.Pop();
-    callback(0.0);
+    double time = 0.0;
+    EventCallback callback;
+    queue.PopInto(&time, &callback);
+    times.push_back(time);
+    callback(time);
   }
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0}));
 }
 
 TEST(EventQueueTest, FifoForEqualTimes) {
@@ -27,7 +32,12 @@ TEST(EventQueueTest, FifoForEqualTimes) {
   for (int i = 0; i < 10; ++i) {
     queue.Push(5.0, [&fired, i](double) { fired.push_back(i); });
   }
-  while (!queue.empty()) queue.Pop()(0.0);
+  while (!queue.empty()) {
+    double time = 0.0;
+    EventCallback callback;
+    queue.PopInto(&time, &callback);
+    callback(time);
+  }
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
 }
 
