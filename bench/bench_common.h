@@ -58,6 +58,63 @@ struct BenchOptions {
   Flags flags;  // access to extra flags
 };
 
+/// Splits a comma-separated flag value into its non-empty items.
+inline std::vector<std::string> SplitList(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    const size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) parts.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+/// Parses "--flag a,b,c" into doubles, exiting with a usage error on junk
+/// or an empty list (`flag` names the flag in the message).
+inline std::vector<double> ParseDoubleList(const std::string& flag,
+                                           const std::string& text) {
+  std::vector<double> values;
+  for (const std::string& part : SplitList(text)) {
+    char* end = nullptr;
+    const double value = std::strtod(part.c_str(), &end);
+    if (end == part.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--%s: not a number: '%s'\n", flag.c_str(), part.c_str());
+      std::exit(2);
+    }
+    values.push_back(value);
+  }
+  if (values.empty()) {
+    std::fprintf(stderr, "--%s: empty list\n", flag.c_str());
+    std::exit(2);
+  }
+  return values;
+}
+
+inline std::vector<int> ParseIntList(const std::string& flag, const std::string& text) {
+  std::vector<int> values;
+  for (double value : ParseDoubleList(flag, text)) {
+    values.push_back(static_cast<int>(value));
+  }
+  return values;
+}
+
+/// Parses one eviction-policy name (`lru`, `lfu`, `divergence`), exiting
+/// with a usage error naming `flag` on anything else.
+inline EvictionPolicy ParseEvictionPolicy(const std::string& flag,
+                                          const std::string& name) {
+  static const EvictionPolicy kinds[] = {EvictionPolicy::kLru, EvictionPolicy::kLfu,
+                                         EvictionPolicy::kDivergenceAware};
+  for (EvictionPolicy kind : kinds) {
+    if (EvictionPolicyToString(kind) == name) return kind;
+  }
+  std::fprintf(stderr, "--%s: unknown eviction policy '%s' (lru, lfu, divergence)\n",
+               flag.c_str(), name.c_str());
+  std::exit(2);
+}
+
 /// Prints the table and optionally writes the CSV copy.
 inline void EmitTable(const TablePrinter& table, const BenchOptions& options) {
   table.Print(std::cout);

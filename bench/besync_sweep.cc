@@ -21,6 +21,14 @@
 // oversubscribes, 0 leaves relays pass-through (which reproduces the flat
 // numbers exactly; see tests/topology_test.cc).
 //
+// --read_rate=R adds per-cache client read streams (R Poisson reads/second
+// over a rotated Zipf popularity law; cooperative-only), --capacity=K
+// bounds each cache at K resident objects with --eviction={lru,lfu,
+// divergence} choosing the victim, and misses trigger pull fetches that
+// share link bandwidth with pushed refreshes (src/read/). Read-enabled
+// grids gain the read columns/fields in --csv and --json output;
+// read-free grids keep the historical bytes exactly.
+//
 // --workload selects the update streams the grid is scored on:
 //   synthetic (default) — each job rebuilds a Poisson random-walk workload
 //     from a seed derived only from (--seed, cache count), so jobs
@@ -46,43 +54,6 @@
 
 namespace besync {
 namespace {
-
-std::vector<std::string> SplitList(const std::string& text) {
-  std::vector<std::string> parts;
-  size_t start = 0;
-  while (start <= text.size()) {
-    const size_t comma = text.find(',', start);
-    const size_t end = comma == std::string::npos ? text.size() : comma;
-    if (end > start) parts.push_back(text.substr(start, end - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return parts;
-}
-
-std::vector<double> ParseDoubleList(const std::string& flag, const std::string& text) {
-  std::vector<double> values;
-  for (const std::string& part : SplitList(text)) {
-    char* end = nullptr;
-    const double value = std::strtod(part.c_str(), &end);
-    if (end == part.c_str() || *end != '\0') {
-      std::fprintf(stderr, "--%s: not a number: '%s'\n", flag.c_str(), part.c_str());
-      std::exit(2);
-    }
-    values.push_back(value);
-  }
-  if (values.empty()) {
-    std::fprintf(stderr, "--%s: empty list\n", flag.c_str());
-    std::exit(2);
-  }
-  return values;
-}
-
-std::vector<int> ParseIntList(const std::string& flag, const std::string& text) {
-  std::vector<int> values;
-  for (double value : ParseDoubleList(flag, text)) values.push_back(static_cast<int>(value));
-  return values;
-}
 
 SchedulerKind ParseScheduler(const std::string& name) {
   static const SchedulerKind kinds[] = {
@@ -159,6 +130,27 @@ int Run(const BenchOptions& options) {
     std::exit(2);
   }
 
+  // Read-path knobs (cooperative-only, like multi-cache and trees): client
+  // read streams at --read_rate reads/second per cache, optional finite
+  // --capacity with --eviction policy (lru, lfu, divergence).
+  const double read_rate = options.flags.GetDouble("read_rate", 0.0);
+  const int64_t capacity = options.flags.GetInt("capacity", 0);
+  if (read_rate < 0.0 || capacity < 0) {
+    std::fprintf(stderr, "--read_rate and --capacity must be >= 0\n");
+    std::exit(2);
+  }
+  if (options.flags.Has("eviction") && capacity == 0) {
+    std::fprintf(stderr,
+                 "--eviction selects the victim of a *finite* cache; it needs "
+                 "--capacity > 0\n");
+    std::exit(2);
+  }
+  const EvictionPolicy eviction =
+      ParseEvictionPolicy("eviction", options.flags.GetString("eviction", "lru"));
+  // Finite capacity counts as a read-path feature too: baselines have no
+  // store to enforce it, so running them would mislabel unbounded results.
+  const bool reads = read_rate > 0.0 || capacity > 0;
+
   std::vector<SchedulerKind> schedulers;
   for (const std::string& name :
        SplitList(options.flags.GetString("schedulers", "cooperative"))) {
@@ -224,6 +216,9 @@ int Run(const BenchOptions& options) {
         options.flags.GetDouble("measure", options.full ? 5000.0 : 1000.0);
   }
   base.source_bandwidth_avg = -1.0;  // unconstrained; the grid varies B_C
+  base.workload.read.read_rate = read_rate;
+  base.workload.read.capacity = capacity;
+  base.workload.read.eviction = eviction;
 
   // The buoy workload is generated once; every job gets a private clone.
   Workload buoy_workload;
@@ -236,6 +231,9 @@ int Run(const BenchOptions& options) {
     buoy_workload = std::move(MakeBuoyWorkload(trace_config)).ValueOrDie();
     base.workload.seed = trace_config.seed;  // JSON metadata only
     base.workload.num_caches = 1;
+    // The clone runner stamps each job's read config from the base
+    // workload, so read knobs apply to the trace workload too.
+    buoy_workload.read = base.workload.read;
   }
 
   std::vector<ExperimentJob> jobs;
@@ -245,10 +243,11 @@ int Run(const BenchOptions& options) {
         PolicySensitive(scheduler) ? static_cast<int>(policies.size()) : 1;
     for (int p = 0; p < num_policies; ++p) {
       for (int num_caches : cache_counts) {
-        // Multi-cache and relay-tree topologies are cooperative-protocol
-        // features; the baseline schedulers model the paper's single-cache
-        // one-hop star only.
-        if ((num_caches > 1 || tree) && scheduler != SchedulerKind::kCooperative) {
+        // Multi-cache, relay-tree and client-read topologies are
+        // cooperative-protocol features; the baseline schedulers model the
+        // paper's read-free single-cache one-hop star only.
+        if ((num_caches > 1 || tree || reads) &&
+            scheduler != SchedulerKind::kCooperative) {
           ++skipped;
           continue;
         }
@@ -346,5 +345,5 @@ int main(int argc, char** argv) {
       argc, argv,
       {"schedulers", "policies", "caches", "bandwidths", "loss_rates", "sources",
        "objects", "warmup", "measure", "workload", "buoys", "topology", "depth",
-       "fanout", "relay_factor"}));
+       "fanout", "relay_factor", "read_rate", "capacity", "eviction"}));
 }

@@ -87,6 +87,27 @@ struct SchedulerStats {
   double relay_transit_delay_mean = 0.0;
   int64_t max_relay_store = 0;
   int64_t relay_control_moved = 0;
+  /// Read-path stats (zero when the read path is disabled — the default).
+  /// Client reads over the measurement window, their hit/miss split,
+  /// pull-request/response traffic, capacity evictions, the read-time
+  /// staleness distribution (divergence of the value each read is served),
+  /// mean miss-to-delivery latency, and how the bandwidth units delivered
+  /// over the cache-side edges split between pull responses and pushes.
+  int64_t reads_total = 0;
+  int64_t read_hits = 0;
+  int64_t read_misses = 0;
+  int64_t pull_requests_sent = 0;
+  int64_t pulls_delivered = 0;
+  int64_t cache_evictions = 0;
+  double read_staleness_mean = 0.0;
+  double read_staleness_p50 = 0.0;
+  double read_staleness_p95 = 0.0;
+  double read_staleness_p99 = 0.0;
+  double read_miss_latency_mean = 0.0;
+  int64_t pull_units_delivered = 0;
+  int64_t push_units_delivered = 0;
+  /// pull_units_delivered / (pull + push units); 0 when nothing delivered.
+  double pull_bandwidth_share = 0.0;
 };
 
 /// Scheduler interface: a refresh-scheduling strategy driven by the Harness.

@@ -311,6 +311,47 @@ void SourceAgent::EmitRefresh(Channel* channel, ObjectIndex index, double now,
   channel->last_emit_time = now;
 }
 
+Message SourceAgent::ServePull(ObjectIndex index, int32_t cache_id, double now) {
+  Channel* channel = nullptr;
+  for (Channel& candidate : channels_) {
+    if (candidate.cache_id == cache_id) {
+      channel = &candidate;
+      break;
+    }
+  }
+  BESYNC_CHECK(channel != nullptr)
+      << "source " << index_ << " has no channel for cache " << cache_id;
+  const int slot = ChannelSlot(*channel, index);
+  LocalState& state = channel->locals[slot];
+  // Same interval bookkeeping as EmitRefresh: the pull closes a refresh
+  // interval for the replica, feeding the history-extended policy.
+  {
+    const DivergenceTracker& tracker =
+        harness_->object(index).tracker(channel->replica_slots[slot]);
+    state.history.OnRefresh(now - tracker.last_refresh_time(), tracker.IntegralTo(now));
+  }
+  Message message = harness_->MakeRefreshMessage(index, cache_id, now);
+  if (config_.monitor == MonitorMode::kSampling) {
+    state.sampled.OnRefresh(now);
+  }
+  message.is_pull = true;
+  message.piggyback_threshold = channel->controller.threshold();
+  // Demand traffic: priority-preserving relays forward pulls ahead of any
+  // queued push.
+  message.forward_priority = std::numeric_limits<double>::infinity();
+  // The replica is fresh now; invalidate any queued push entry so the next
+  // send phase does not re-send the value the pull just delivered.
+  ++state.epoch;
+  // Time-varying policies are driven by wake-ups, and the bump above just
+  // killed this object's armed entry; re-arm from the new t_last exactly
+  // like an emitted push, or the object would never be pushed again (for
+  // non-update-sensitive policies updates do not re-arm).
+  if (policy_->time_varying()) {
+    PushWake(channel, index, now);
+  }
+  return message;
+}
+
 void SourceAgent::EmitBatch(Channel* channel, const std::vector<QueueEntry>& batch,
                             double now, Link* cache_link) {
   BESYNC_DCHECK(!batch.empty());

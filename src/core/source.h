@@ -131,6 +131,17 @@ class SourceAgent {
   int64_t SendSecondary(double now, int64_t max_count, Link* source_link,
                         Link* cache_link, int channel = 0);
 
+  /// Serves a miss-triggered pull of `index` toward `cache_id` (read path):
+  /// performs the same per-object bookkeeping as a push emission — tracker
+  /// reset via MakeRefreshMessage, history/sampling updates, and an epoch
+  /// bump so any queued push entry for the object dies lazily instead of
+  /// re-sending the value the pull just delivered — but bumps no threshold
+  /// and counts no push. Returns the refresh-shaped response: is_pull set,
+  /// the channel's current threshold piggybacked, and infinite
+  /// forward_priority so priority-preserving relays move demand traffic
+  /// first. The caller routes it (and charges the source link).
+  Message ServePull(ObjectIndex index, int32_t cache_id, double now);
+
   /// Resets statistics counters (measurement start).
   void ResetCounters() { refreshes_sent_ = 0; }
 

@@ -120,6 +120,11 @@ void CooperativeScheduler::Initialize(Harness* harness) {
 
   source_order_.resize(m);
   for (int j = 0; j < m; ++j) source_order_[j] = j;
+
+  // The client read side: per-cache streams, stores and pull bookkeeping.
+  // Inert — no RNG created, no stream state — unless the workload
+  // configures reads or a finite capacity.
+  read_path_.Initialize(harness, num_caches);
 }
 
 void CooperativeScheduler::OnObjectUpdate(ObjectIndex index, double t) {
@@ -189,7 +194,11 @@ void CooperativeScheduler::Tick(double t) {
   for (int32_t node : network_->tier1_nodes()) {
     for (int32_t j : sources_by_node_[node]) {
       for (const Message& message : network_->TakeSourceMail(node, j)) {
-        sources_[j]->OnFeedback(message, t);
+        if (message.kind == MessageKind::kPullRequest) {
+          ServePull(message, t);
+        } else {
+          sources_[j]->OnFeedback(message, t);
+        }
       }
     }
   }
@@ -203,13 +212,24 @@ void CooperativeScheduler::Tick(double t) {
   RelayPhase(t);
 
   // 3. Every cache-side link delivers queued refreshes within its budget.
+  const bool reads = read_path_.enabled();
   for (int c = 0; c < num_caches(); ++c) {
     CacheAgent* cache = caches_[c].get();
     if (cache == nullptr) continue;
     network_->cache_link(c).DeliverQueued([&](const Message& message) {
       harness_->DeliverRefresh(message, t);
       cache->RecordRefresh(message, t);
+      if (reads) read_path_.OnRefreshDelivered(message, t);
     });
+  }
+
+  // 3b. Client reads up to this tick are served from the (just refreshed)
+  //     caches; misses queue pull requests, which then go upstream within
+  //     each leaf edge's remaining budget — after this tick's deliveries,
+  //     ahead of the surplus feedback below.
+  if (reads) {
+    read_path_.ProcessReads(t);
+    read_path_.SendPullRequests(t, network_.get());
   }
 
   // 4. Surplus cache-side bandwidth becomes positive feedback, aimed per
@@ -242,6 +262,20 @@ void CooperativeScheduler::OnMeasurementStart(double /*t*/) {
   for (auto& source : sources_) source->ResetCounters();
   for (auto& relay : relays_) relay->ResetCounters();
   relay_control_moved_ = 0;
+  read_path_.OnMeasurementStart();
+}
+
+void CooperativeScheduler::ServePull(const Message& request, double t) {
+  // The source does the per-object bookkeeping (tracker reset, threshold
+  // piggyback, push-entry invalidation, demand forward priority).
+  const Message response = sources_[request.source_index]->ServePull(
+      request.object_index, request.cache_id, t);
+  // Demand traffic consumes the same source-side budget as pushes, debt
+  // allowed: a pull is never dropped, it throttles the source's next
+  // pushes instead. From the tier-1 edge on, the response is an ordinary
+  // queued message under the same per-edge budgets as pushed refreshes.
+  network_->source_link(request.source_index).ConsumeAllowingDebt(response.cost);
+  network_->first_hop_link(request.cache_id).Enqueue(response);
 }
 
 void CooperativeScheduler::Finalize(double /*t*/) { network_->FinishTick(); }
@@ -294,6 +328,33 @@ SchedulerStats CooperativeScheduler::stats() const {
         relay_transit_sum / static_cast<double>(stats.relays_forwarded);
   }
   stats.relay_control_moved = relay_control_moved_;
+  if (read_path_.enabled()) {
+    const ReadPathCounters reads = read_path_.Counters();
+    stats.reads_total = reads.reads;
+    stats.read_hits = reads.hits;
+    stats.read_misses = reads.misses;
+    stats.pull_requests_sent = reads.pull_requests;
+    stats.pulls_delivered = reads.pulls_delivered;
+    stats.cache_evictions = reads.evictions;
+    stats.read_staleness_mean = reads.staleness_mean;
+    stats.read_staleness_p50 = reads.staleness_p50;
+    stats.read_staleness_p95 = reads.staleness_p95;
+    stats.read_staleness_p99 = reads.staleness_p99;
+    stats.read_miss_latency_mean = reads.miss_latency_mean;
+    // Push-vs-pull bandwidth split over every cache-side edge (leaf links
+    // plus relay ingress edges — the links pulls and pushes contend on).
+    for (int n = 0; n < network_->num_nodes(); ++n) {
+      const Link& link = network_->edge_link(n);
+      stats.pull_units_delivered += link.pull_units_delivered();
+      stats.push_units_delivered += link.push_units_delivered();
+    }
+    const int64_t total_units =
+        stats.pull_units_delivered + stats.push_units_delivered;
+    stats.pull_bandwidth_share =
+        total_units > 0 ? static_cast<double>(stats.pull_units_delivered) /
+                              static_cast<double>(total_units)
+                        : 0.0;
+  }
   return stats;
 }
 

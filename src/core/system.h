@@ -11,6 +11,7 @@
 #include "core/source.h"
 #include "net/network.h"
 #include "priority/priority.h"
+#include "read/read_path.h"
 #include "util/result.h"
 
 namespace besync {
@@ -94,6 +95,9 @@ class CooperativeScheduler : public Scheduler {
   CacheAgent& cache(int c = 0);
   /// Relay agent of topology node `node` (node >= num_caches; checked).
   RelayAgent& relay(int32_t node);
+  /// The client read subsystem (inert unless the workload configures reads
+  /// or a finite capacity — see read/read_path.h).
+  const ReadPath& read_path() const { return read_path_; }
 
  protected:
   /// Hook for subclasses to decorate outgoing feedback (competitive rate
@@ -108,6 +112,13 @@ class CooperativeScheduler : public Scheduler {
   /// ingress edge into its store, then forwards eligible refreshes one hop
   /// toward their leaf under its egress budget. No-op on flat topologies.
   void RelayPhase(double t);
+
+  /// Serves one miss-triggered pull request at its source: builds the
+  /// refresh-shaped pull response (marked Message::is_pull, current
+  /// threshold piggybacked), debts the source link by its cost, and
+  /// enqueues it on the target cache's tier-1 edge — from where it travels
+  /// exactly like a pushed refresh, relay hops included.
+  void ServePull(const Message& request, double t);
 
   CooperativeConfig config_;
   Harness* harness_ = nullptr;
@@ -127,6 +138,9 @@ class CooperativeScheduler : public Scheduler {
   std::vector<int> source_order_;
   std::vector<int32_t> object_source_;
   int64_t relay_control_moved_ = 0;
+  /// Client read streams, residency/eviction and pull bookkeeping; inert
+  /// (and branch-free on the hot paths) when the workload disables reads.
+  ReadPath read_path_;
 };
 
 /// Scheduler-agnostic summary of one simulation run.

@@ -60,6 +60,11 @@ Workload CloneWorkload(const Workload& workload) {
   clone.num_caches = workload.num_caches;
   clone.topology = workload.topology;  // plain data, copyable
   clone.has_fluctuating_weights = workload.has_fluctuating_weights;
+  clone.read = workload.read;  // plain data, copyable
+  clone.read_streams.reserve(workload.read_streams.size());
+  for (const std::unique_ptr<ReadProcess>& stream : workload.read_streams) {
+    clone.read_streams.push_back(stream != nullptr ? stream->Clone() : nullptr);
+  }
   clone.objects.reserve(workload.objects.size());
   for (const ObjectSpec& spec : workload.objects) {
     clone.objects.push_back(CloneObjectSpec(spec));
@@ -148,6 +153,15 @@ Result<Workload> MakeWorkload(const WorkloadConfig& config) {
   if (config.relay_bandwidth_factor < 0.0) {
     return Status::InvalidArgument("relay_bandwidth_factor must be >= 0");
   }
+  if (config.read.read_rate < 0.0) {
+    return Status::InvalidArgument("read_rate must be >= 0");
+  }
+  if (config.read.read_rate > 0.0 && config.read.zipf_exponent <= 0.0) {
+    return Status::InvalidArgument("zipf_exponent must be > 0");
+  }
+  if (config.read.pull_retry_interval <= 0.0) {
+    return Status::InvalidArgument("pull_retry_interval must be > 0");
+  }
 
   // Random half-splits for rate, weight and cost skew, drawn independently
   // ("an independently- and randomly-selected half", Section 4.3).
@@ -175,6 +189,10 @@ Result<Workload> MakeWorkload(const WorkloadConfig& config) {
     workload.topology.relay_bandwidth_factor = config.relay_bandwidth_factor;
   }
   workload.has_fluctuating_weights = config.weight_fluctuation_amplitude > 0.0;
+  // Read-path knobs travel on the workload; the streams themselves are
+  // built at run time from read.seed, so this consumes no generator
+  // randomness (read-enabled workloads carry identical update streams).
+  workload.read = config.read;
   workload.objects.reserve(total);
 
   // Interest assignment uses a dedicated stream so the default single-cache

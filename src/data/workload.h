@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/object.h"
+#include "data/read_process.h"
 #include "data/topology.h"
 #include "data/update_process.h"
 #include "util/fluctuation.h"
@@ -77,6 +78,20 @@ struct Workload {
   /// True if any weight fluctuates over time (enables periodic weight
   /// refresh in the divergence accounting).
   bool has_fluctuating_weights = false;
+  /// Client read-side knobs (data/read_process.h). The defaults — no reads,
+  /// unbounded capacity — keep the read path entirely inert, so write-only
+  /// runs are bitwise identical to the pre-read-path engine.
+  ReadWorkloadConfig read;
+  /// Optional per-cache client read streams (size num_caches when set;
+  /// empty = generate Poisson/Zipf streams from `read` when read_rate > 0).
+  /// Owned here like ObjectSpec::process, and mutated during a run (trace
+  /// cursors) — the same sharing hazard applies (exp/runner.h), and
+  /// CloneWorkload deep-copies them for the clone-per-job path.
+  std::vector<std::unique_ptr<ReadProcess>> read_streams;
+
+  /// True when any client reads will be generated (rate-driven or
+  /// trace-driven). Capacity limits apply independently of this.
+  bool reads_enabled() const { return read.read_rate > 0.0 || !read_streams.empty(); }
 
   int64_t total_objects() const { return static_cast<int64_t>(objects.size()); }
 
@@ -192,6 +207,12 @@ struct WorkloadConfig {
 
   /// Random-walk step size per update.
   double value_step = 1.0;
+
+  /// Client read-path knobs, copied verbatim onto the generated workload
+  /// (consumes no generator randomness — the read streams draw from their
+  /// own seed at run time — so workloads differing only in `read` carry
+  /// identical objects and update streams).
+  ReadWorkloadConfig read;
 
   uint64_t seed = 1;
 };

@@ -92,6 +92,14 @@ Result<RunResult> RunExperimentOnWorkload(const ExperimentConfig& config,
         "relay topologies are a cooperative-protocol feature; scheduler ",
         SchedulerKindToString(config.scheduler), " models the one-hop star only");
   }
+  if ((workload->reads_enabled() || workload->read.capacity > 0) &&
+      config.scheduler != SchedulerKind::kCooperative) {
+    return Status::InvalidArgument(
+        "the client read path (read_rate / read_streams / finite capacity) "
+        "is modeled by the cooperative protocol only; scheduler ",
+        SchedulerKindToString(config.scheduler),
+        " would silently ignore it while its results were labeled with it");
+  }
   if (!config.topology.flat()) {
     BESYNC_RETURN_IF_ERROR(config.topology.Validate(workload->num_caches));
   } else if (!workload->topology.flat()) {

@@ -20,6 +20,7 @@ Result<std::vector<MulticachePoint>> RunMulticacheSweep(
       job.config = config.base;
       job.config.scheduler = SchedulerKind::kCooperative;
       job.config.workload.num_caches = num_caches;
+      job.config.workload.read = config.read;
       // Any pattern degenerates to the paper's topology at one cache; keep
       // the sweep uniform by mapping N=1 onto the canonical single-cache
       // pattern (identical interest map, no generator divergence).

@@ -33,6 +33,10 @@ struct MulticacheConfig {
   TopologySpec topology;
   /// Relay store-drain order when `topology` is a tree.
   RelayForwardPolicy relay_forward = RelayForwardPolicy::kFifo;
+  /// Client read-path knobs applied to every sweep point's workload
+  /// (data/read_process.h). The defaults keep the sweep write-only — the
+  /// historical behavior, byte for byte.
+  ReadWorkloadConfig read;
   /// Worker threads for the sweep; 1 = sequential, <= 0 = hardware
   /// concurrency. Each point is an independent job that rebuilds its private
   /// workload from the base config (the runner's config-rebuild path —

@@ -1,0 +1,76 @@
+#include "exp/read_sweep.h"
+
+#include "util/table_printer.h"
+
+namespace besync {
+
+Result<std::vector<ReadSweepPoint>> RunReadSweep(
+    const ReadSweepConfig& config, std::vector<JobResult>* raw_results) {
+  if (config.read_rates.empty()) {
+    return Status::InvalidArgument("read_rates must be non-empty");
+  }
+  if (config.capacities.empty()) {
+    return Status::InvalidArgument("capacities must be non-empty");
+  }
+  if (config.evictions.empty()) {
+    return Status::InvalidArgument("evictions must be non-empty");
+  }
+  for (double rate : config.read_rates) {
+    if (rate <= 0.0) {
+      return Status::InvalidArgument("read rates must be > 0, got ", rate);
+    }
+  }
+
+  struct PointShape {
+    double read_rate;
+    int64_t capacity;
+    EvictionPolicy eviction;
+  };
+  std::vector<ExperimentJob> jobs;
+  std::vector<PointShape> shapes;
+  for (double read_rate : config.read_rates) {
+    for (int64_t capacity : config.capacities) {
+      // An unbounded store never evicts; running each policy there would
+      // just repeat one simulation under different labels.
+      const int num_policies =
+          capacity <= 0 ? 1 : static_cast<int>(config.evictions.size());
+      for (int p = 0; p < num_policies; ++p) {
+        const EvictionPolicy eviction = config.evictions[p];
+        ExperimentJob job;
+        job.config = config.base;
+        job.config.scheduler = SchedulerKind::kCooperative;
+        job.config.workload.read.read_rate = read_rate;
+        job.config.workload.read.capacity = capacity;
+        job.config.workload.read.eviction = eviction;
+        job.name = "rate=" + TablePrinter::Cell(read_rate) + ",cap=" +
+                   (capacity <= 0 ? std::string("inf") : std::to_string(capacity)) +
+                   ",evict=" +
+                   (capacity <= 0 ? std::string("-") : EvictionPolicyToString(eviction));
+        jobs.push_back(std::move(job));
+        shapes.push_back({read_rate, capacity, eviction});
+      }
+    }
+  }
+
+  RunnerOptions options;
+  options.threads = config.threads;
+  const std::vector<JobResult> results = RunExperiments(jobs, options);
+  if (raw_results != nullptr) *raw_results = results;
+
+  std::vector<ReadSweepPoint> points;
+  points.reserve(results.size());
+  for (size_t k = 0; k < results.size(); ++k) {
+    const JobResult& job = results[k];
+    if (!job.status.ok()) return job.status;
+    ReadSweepPoint point;
+    point.read_rate = shapes[k].read_rate;
+    point.capacity = shapes[k].capacity;
+    point.eviction = shapes[k].eviction;
+    point.result = job.result;
+    point.wall_seconds = job.wall_seconds;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace besync

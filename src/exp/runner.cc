@@ -86,6 +86,9 @@ void RunOneJobOnClone(const Workload& base_workload, const ExperimentJob& job,
   // The base workload is authoritative for the topology: the stamped count
   // configures the cooperative scheduler and the JSON grid coordinates.
   out->config.workload.num_caches = base_workload.num_caches;
+  // Likewise for the read-path knobs it carries (read-enabled clone grids
+  // serialize their read coordinates and stats).
+  out->config.workload.read = base_workload.read;
   TimedRun(out, [&base_workload, out] {
     Workload clone = CloneWorkload(base_workload);
     return RunExperimentOnWorkload(out->config, &clone);
@@ -124,6 +127,18 @@ std::vector<JobResult> RunAll(size_t num_jobs, const RunnerOptions& options,
   }
   if (show_progress) progress.Finish();
   return results;
+}
+
+/// Whether a job's serialized row carries read-path fields: any read
+/// stream, a finite capacity (whose evictions are otherwise invisible), or
+/// a run that counted reads (trace-driven). Purely a function of the job's
+/// config and deterministic stats, so serialized grids stay byte-identical
+/// at any thread count — and rows of runs with the read path fully
+/// disabled keep their historical bytes exactly.
+bool ReadFieldsApply(const JobResult& job) {
+  return job.config.workload.read.read_rate > 0.0 ||
+         job.config.workload.read.capacity > 0 ||
+         job.result.scheduler.reads_total > 0;
 }
 
 }  // namespace
@@ -182,8 +197,32 @@ void WriteResultsJson(std::ostream& os, const std::vector<JobResult>& results) {
        << ", \"refreshes_delivered\": " << r.scheduler.refreshes_delivered
        << ", \"feedback_sent\": " << r.scheduler.feedback_sent
        << ", \"polls_sent\": " << r.scheduler.polls_sent
-       << ", \"cache_utilization\": " << JsonNumber(r.scheduler.cache_utilization)
-       << "}";
+       << ", \"cache_utilization\": " << JsonNumber(r.scheduler.cache_utilization);
+    if (ReadFieldsApply(job)) {
+      const SchedulerStats& s = r.scheduler;
+      const double hit_rate =
+          s.reads_total > 0 ? static_cast<double>(s.read_hits) /
+                                  static_cast<double>(s.reads_total)
+                            : 0.0;
+      os << ",\n     \"read_rate\": " << JsonNumber(job.config.workload.read.read_rate)
+         << ", \"capacity\": " << job.config.workload.read.capacity
+         << ", \"eviction\": "
+         << JsonString(EvictionPolicyToString(job.config.workload.read.eviction))
+         << ", \"reads_total\": " << s.reads_total
+         << ", \"read_hits\": " << s.read_hits
+         << ", \"read_misses\": " << s.read_misses
+         << ", \"hit_rate\": " << JsonNumber(hit_rate)
+         << ", \"pull_requests_sent\": " << s.pull_requests_sent
+         << ", \"pulls_delivered\": " << s.pulls_delivered
+         << ", \"cache_evictions\": " << s.cache_evictions
+         << ", \"read_staleness_mean\": " << JsonNumber(s.read_staleness_mean)
+         << ", \"read_staleness_p50\": " << JsonNumber(s.read_staleness_p50)
+         << ", \"read_staleness_p95\": " << JsonNumber(s.read_staleness_p95)
+         << ", \"read_staleness_p99\": " << JsonNumber(s.read_staleness_p99)
+         << ", \"read_miss_latency_mean\": " << JsonNumber(s.read_miss_latency_mean)
+         << ", \"pull_bandwidth_share\": " << JsonNumber(s.pull_bandwidth_share);
+    }
+    os << "}";
   }
   os << (results.empty() ? "]" : "\n  ]") << "\n}\n";
 }
@@ -221,33 +260,74 @@ TablePrinter ResultsTable(const std::vector<JobResult>& results) {
 }
 
 TablePrinter ResultsCsv(const std::vector<JobResult>& results) {
-  TablePrinter table({"name", "scheduler", "policy", "metric", "num_caches",
-                      "cache_bandwidth_avg", "source_bandwidth_avg", "loss_rate",
-                      "workload_seed", "ok", "total_weighted_divergence",
-                      "per_object_weighted", "per_object_unweighted",
-                      "total_replicas", "refreshes_sent", "refreshes_delivered",
-                      "feedback_sent", "polls_sent", "cache_utilization", "error"});
+  // Read-path columns are appended only when some job of the grid enables
+  // reads — a pure function of the grid's configs/results, so read-free
+  // sweeps keep their historical CSV bytes exactly.
+  bool reads = false;
+  for (const JobResult& job : results) reads = reads || ReadFieldsApply(job);
+  std::vector<std::string> header{
+      "name", "scheduler", "policy", "metric", "num_caches",
+      "cache_bandwidth_avg", "source_bandwidth_avg", "loss_rate",
+      "workload_seed", "ok", "total_weighted_divergence",
+      "per_object_weighted", "per_object_unweighted",
+      "total_replicas", "refreshes_sent", "refreshes_delivered",
+      "feedback_sent", "polls_sent", "cache_utilization"};
+  if (reads) {
+    for (const char* column :
+         {"read_rate", "capacity", "eviction", "reads_total", "hit_rate",
+          "pull_requests_sent", "pulls_delivered", "cache_evictions",
+          "read_staleness_mean", "read_staleness_p50", "read_staleness_p95",
+          "read_staleness_p99", "read_miss_latency_mean",
+          "pull_bandwidth_share"}) {
+      header.push_back(column);
+    }
+  }
+  header.push_back("error");
+  TablePrinter table(header);
   for (const JobResult& job : results) {
     const RunResult& r = job.result;
-    table.AddRow({job.name, SchedulerKindToString(job.config.scheduler),
-                  PolicyKindToString(job.config.policy),
-                  MetricKindToString(job.config.metric),
-                  TablePrinter::Cell(job.config.workload.num_caches),
-                  JsonNumber(job.config.cache_bandwidth_avg),
-                  JsonNumber(job.config.source_bandwidth_avg),
-                  JsonNumber(job.config.loss_rate),
-                  std::to_string(job.config.workload.seed),
-                  job.status.ok() ? "true" : "false",
-                  JsonNumber(r.total_weighted_divergence),
-                  JsonNumber(r.per_object_weighted),
-                  JsonNumber(r.per_object_unweighted),
-                  TablePrinter::Cell(r.total_replicas),
-                  TablePrinter::Cell(r.scheduler.refreshes_sent),
-                  TablePrinter::Cell(r.scheduler.refreshes_delivered),
-                  TablePrinter::Cell(r.scheduler.feedback_sent),
-                  TablePrinter::Cell(r.scheduler.polls_sent),
-                  JsonNumber(r.scheduler.cache_utilization),
-                  job.status.ok() ? "" : job.status.ToString()});
+    std::vector<std::string> row{
+        job.name, SchedulerKindToString(job.config.scheduler),
+        PolicyKindToString(job.config.policy),
+        MetricKindToString(job.config.metric),
+        TablePrinter::Cell(job.config.workload.num_caches),
+        JsonNumber(job.config.cache_bandwidth_avg),
+        JsonNumber(job.config.source_bandwidth_avg),
+        JsonNumber(job.config.loss_rate),
+        std::to_string(job.config.workload.seed),
+        job.status.ok() ? "true" : "false",
+        JsonNumber(r.total_weighted_divergence),
+        JsonNumber(r.per_object_weighted),
+        JsonNumber(r.per_object_unweighted),
+        TablePrinter::Cell(r.total_replicas),
+        TablePrinter::Cell(r.scheduler.refreshes_sent),
+        TablePrinter::Cell(r.scheduler.refreshes_delivered),
+        TablePrinter::Cell(r.scheduler.feedback_sent),
+        TablePrinter::Cell(r.scheduler.polls_sent),
+        JsonNumber(r.scheduler.cache_utilization)};
+    if (reads) {
+      const SchedulerStats& s = r.scheduler;
+      const double hit_rate =
+          s.reads_total > 0 ? static_cast<double>(s.read_hits) /
+                                  static_cast<double>(s.reads_total)
+                            : 0.0;
+      row.push_back(JsonNumber(job.config.workload.read.read_rate));
+      row.push_back(std::to_string(job.config.workload.read.capacity));
+      row.push_back(EvictionPolicyToString(job.config.workload.read.eviction));
+      row.push_back(TablePrinter::Cell(s.reads_total));
+      row.push_back(JsonNumber(hit_rate));
+      row.push_back(TablePrinter::Cell(s.pull_requests_sent));
+      row.push_back(TablePrinter::Cell(s.pulls_delivered));
+      row.push_back(TablePrinter::Cell(s.cache_evictions));
+      row.push_back(JsonNumber(s.read_staleness_mean));
+      row.push_back(JsonNumber(s.read_staleness_p50));
+      row.push_back(JsonNumber(s.read_staleness_p95));
+      row.push_back(JsonNumber(s.read_staleness_p99));
+      row.push_back(JsonNumber(s.read_miss_latency_mean));
+      row.push_back(JsonNumber(s.pull_bandwidth_share));
+    }
+    row.push_back(job.status.ok() ? "" : job.status.ToString());
+    table.AddRow(std::move(row));
   }
   return table;
 }

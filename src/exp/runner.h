@@ -105,6 +105,12 @@ std::vector<JobResult> RunExperimentsOnWorkload(
 ///     "per_object_unweighted": ..., "total_replicas": ...,
 ///    "refreshes_sent": ..., "refreshes_delivered": ..., "feedback_sent":
 ///     ..., "polls_sent": ..., "cache_utilization": ...}, ...]}
+/// Jobs with the read path enabled (workload read_rate > 0 or a run that
+/// counted reads) additionally carry: "read_rate", "capacity", "eviction",
+/// "reads_total", "read_hits", "read_misses", "hit_rate",
+/// "pull_requests_sent", "pulls_delivered", "cache_evictions",
+/// "read_staleness_mean"/"_p50"/"_p95"/"_p99", "read_miss_latency_mean",
+/// "pull_bandwidth_share" — read-free rows keep their historical bytes.
 /// Doubles use shortest round-trip formatting; timings are excluded, so the
 /// bytes depend only on the job configs (BENCH_*.json trajectory tracking).
 void WriteResultsJson(std::ostream& os, const std::vector<JobResult>& results);
@@ -119,6 +125,9 @@ TablePrinter ResultsTable(const std::vector<JobResult>& results);
 /// (the JSON formatter) and the nondeterministic wall-clock column dropped,
 /// so a fixed grid's CSV — like its JSON — is byte-identical at any thread
 /// count. Lets sweep consumers skip JSON post-processing entirely.
+/// Grids with the read path enabled on any job gain the read-path columns
+/// (hit rate, staleness percentiles, pull share) on every row; read-free
+/// grids keep the historical column set byte for byte.
 TablePrinter ResultsCsv(const std::vector<JobResult>& results);
 
 }  // namespace besync

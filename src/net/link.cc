@@ -49,7 +49,9 @@ int64_t Link::DeliverQueued(const std::function<void(const Message&)>& sink) {
   while (remaining_ > 0 && !queue_.empty()) {
     const Message message = std::move(queue_.front());
     queue_.pop_front();
-    remaining_ -= std::max<int64_t>(message.cost, 1);
+    const int64_t cost = std::max<int64_t>(message.cost, 1);
+    remaining_ -= cost;
+    (message.is_pull ? pull_units_delivered_ : push_units_delivered_) += cost;
     if (loss_rate_ > 0.0 && loss_rng_.Bernoulli(loss_rate_)) {
       ++messages_dropped_;
       continue;  // transmission spent, content lost
@@ -75,6 +77,11 @@ bool Link::TryConsumeAllowingDeficit(int64_t amount) {
   return true;
 }
 
+void Link::ConsumeAllowingDebt(int64_t amount) {
+  BESYNC_CHECK_GE(amount, 0);
+  remaining_ -= amount;
+}
+
 void Link::SetLossRate(double rate, uint64_t seed) {
   BESYNC_CHECK_GE(rate, 0.0);
   BESYNC_CHECK_LT(rate, 1.0);
@@ -87,6 +94,8 @@ void Link::ResetStats() {
   queue_length_stat_.Reset();
   messages_delivered_ = 0;
   messages_dropped_ = 0;
+  pull_units_delivered_ = 0;
+  push_units_delivered_ = 0;
   max_queue_size_ = queue_.size();
 }
 

@@ -60,6 +60,13 @@ class Link {
   /// whether the consumption happened.
   bool TryConsumeAllowingDeficit(int64_t amount);
 
+  /// Unconditionally consumes `amount` units, allowing the balance to go
+  /// negative even when already exhausted. For demand traffic that must be
+  /// sent (miss-triggered pull responses): the debt reduces the following
+  /// ticks' budgets, throttling subsequent pushes instead of dropping the
+  /// pull.
+  void ConsumeAllowingDebt(int64_t amount);
+
   /// Configures random message loss on delivery (0 = lossless, default).
   void SetLossRate(double rate, uint64_t seed);
 
@@ -76,6 +83,13 @@ class Link {
   const RunningStat& queue_length_stat() const { return queue_length_stat_; }
   int64_t messages_delivered() const { return messages_delivered_; }
   int64_t messages_dropped() const { return messages_dropped_; }
+  /// Bandwidth units spent by DeliverQueued transmissions, split by traffic
+  /// class: pull responses (Message::is_pull) vs everything else ("push" —
+  /// refreshes and poll responses). Lost transmissions count too (their
+  /// cost was spent); budget consumed outside the queue (feedback or pull
+  /// requests via ConsumeBudget/TryConsumeAllowingDeficit) is not included.
+  int64_t pull_units_delivered() const { return pull_units_delivered_; }
+  int64_t push_units_delivered() const { return push_units_delivered_; }
 
   /// Resets statistics (e.g. at the end of the warm-up period). The queue
   /// contents and budget state are preserved.
@@ -92,6 +106,8 @@ class Link {
   int64_t tick_start_remaining_ = 0;
   int64_t messages_delivered_ = 0;
   int64_t messages_dropped_ = 0;
+  int64_t pull_units_delivered_ = 0;
+  int64_t push_units_delivered_ = 0;
   size_t max_queue_size_ = 0;
   UtilizationStat utilization_;
   RunningStat queue_length_stat_;

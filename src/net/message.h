@@ -28,6 +28,12 @@ enum class MessageKind {
   kPollRequest,
   /// Source -> cache: poll response carrying the current value (CGM).
   kPollResponse,
+  /// Cache -> source: miss-triggered pull request from the read path — a
+  /// client read found the object evicted, so the cache demands a fetch.
+  /// Rides the upstream control channel like feedback; the response is a
+  /// regular kRefresh with `is_pull` set, contending for the same link
+  /// budgets as pushed refreshes.
+  kPullRequest,
 };
 
 /// A unit-size protocol message. Fields not meaningful for a given kind are
@@ -68,6 +74,12 @@ struct Message {
   /// forwarding policy order their store by it; FIFO forwarding and the
   /// flat topology ignore it.
   double forward_priority = 0.0;
+  /// True on kRefresh messages that answer a miss-triggered pull (read
+  /// path) rather than a source-initiated push. Pull responses traverse
+  /// the same links and budgets as pushes; the flag only attributes the
+  /// consumed bandwidth (Link's pull/push unit counters) and routes the
+  /// delivery to the cache store's pending-read resolution.
+  bool is_pull = false;
   /// Additional refreshes batched into this message (empty for the default
   /// one-object-per-message model). The primary fields describe the first
   /// object; a batch of k objects still costs `cost` units — that is the

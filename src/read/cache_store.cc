@@ -1,0 +1,110 @@
+#include "read/cache_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace besync {
+
+CacheStore::CacheStore(int64_t capacity, EvictionPolicy policy,
+                       std::vector<ObjectIndex> members)
+    : capacity_(capacity), policy_(policy), members_(std::move(members)) {
+  for (size_t i = 1; i < members_.size(); ++i) {
+    BESYNC_CHECK_LT(members_[i - 1], members_[i]) << "members must be ascending";
+  }
+  if (unbounded()) return;
+  slots_.resize(members_.size());
+  // Deterministic warm start: the first `capacity` members begin resident
+  // (caches start synchronized with the sources in the divergence model).
+  const int64_t initial = std::min<int64_t>(capacity_, num_members());
+  for (int64_t slot = 0; slot < initial; ++slot) slots_[slot].resident = true;
+  num_resident_ = initial;
+}
+
+int64_t CacheStore::SlotOf(ObjectIndex index) const {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), index);
+  if (it == members_.end() || *it != index) return -1;
+  return static_cast<int64_t>(it - members_.begin());
+}
+
+int64_t CacheStore::num_resident() const {
+  return unbounded() ? num_members() : num_resident_;
+}
+
+void CacheStore::TouchRead(int64_t slot, double t) {
+  if (unbounded()) return;
+  SlotState& state = slots_[slot];
+  state.last_touch = t;
+  ++state.read_count;
+}
+
+int64_t CacheStore::SelectVictim(
+    const std::function<double(ObjectIndex)>& divergence_of) const {
+  // Linear scan over the residents; evictions are per-install, so this is
+  // O(members) on a path that already paid a network round trip.
+  int64_t victim = -1;
+  double victim_key = 0.0;
+  double victim_touch = 0.0;
+  int64_t victim_count = 0;
+  for (int64_t slot = 0; slot < num_members(); ++slot) {
+    const SlotState& state = slots_[slot];
+    if (!state.resident) continue;
+    bool better = false;
+    switch (policy_) {
+      case EvictionPolicy::kLru:
+        // Oldest read first; ties fall through to the lowest slot (the
+        // first resident encountered wins, scan order is ascending).
+        better = victim < 0 || state.last_touch < victim_touch;
+        break;
+      case EvictionPolicy::kLfu:
+        better = victim < 0 || state.read_count < victim_count ||
+                 (state.read_count == victim_count && state.last_touch < victim_touch);
+        break;
+      case EvictionPolicy::kDivergenceAware: {
+        // Most-diverged replica first: dropping the stalest copy forces its
+        // next read to pull fresh data instead of serving it; ties broken
+        // least-recently-read, then lowest slot.
+        const double divergence = divergence_of(members_[slot]);
+        better = victim < 0 || divergence > victim_key ||
+                 (divergence == victim_key && state.last_touch < victim_touch);
+        if (better) victim_key = divergence;
+        break;
+      }
+    }
+    if (better) {
+      victim = slot;
+      victim_touch = state.last_touch;
+      victim_count = state.read_count;
+    }
+  }
+  BESYNC_CHECK_GE(victim, 0) << "no resident replica to evict";
+  return victim;
+}
+
+int64_t CacheStore::Install(int64_t slot, double t,
+                            const std::function<double(ObjectIndex)>& divergence_of) {
+  if (unbounded()) return -1;
+  SlotState& state = slots_[slot];
+  if (state.resident) return -1;
+  int64_t evicted = -1;
+  if (num_resident_ >= capacity_) {
+    evicted = SelectVictim(divergence_of);
+    slots_[evicted].resident = false;
+    slots_[evicted].read_count = 0;
+    --num_resident_;
+    ++evictions_;
+  }
+  state.resident = true;
+  state.last_touch = t;
+  state.read_count = 0;
+  ++num_resident_;
+  ++installs_;
+  return evicted;
+}
+
+void CacheStore::ResetCounters() {
+  evictions_ = 0;
+  installs_ = 0;
+}
+
+}  // namespace besync

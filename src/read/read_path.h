@@ -1,0 +1,141 @@
+#ifndef BESYNC_READ_READ_PATH_H_
+#define BESYNC_READ_READ_PATH_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/harness.h"
+#include "data/read_process.h"
+#include "net/network.h"
+#include "read/cache_store.h"
+#include "util/quantile.h"
+#include "util/random.h"
+
+namespace besync {
+
+/// Aggregated read-path counters over the measurement window (all zero when
+/// the read path is disabled).
+struct ReadPathCounters {
+  int64_t reads = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t pull_requests = 0;
+  int64_t pulls_delivered = 0;
+  int64_t evictions = 0;
+  /// Read-time staleness distribution: the divergence of the value a read
+  /// is served (hits sample at read time; misses sample the pulled value at
+  /// delivery time).
+  double staleness_mean = 0.0;
+  double staleness_p50 = 0.0;
+  double staleness_p95 = 0.0;
+  double staleness_p99 = 0.0;
+  /// Mean time from a missing read to the delivery that serves it.
+  double miss_latency_mean = 0.0;
+};
+
+/// The client read side of one simulation run: per-cache read streams,
+/// capacity-limited residency (read/cache_store.h), read-time staleness
+/// sampling against the ground truth, and miss-triggered pulls.
+///
+/// Owned and driven by the cooperative scheduler's tick
+/// (core/system.cc):
+///   - ProcessReads(t) consumes every client read with timestamp <= t in
+///     global time order; hits sample the replica's current divergence,
+///     misses register a pending pull (deduplicated per replica in
+///     flight).
+///   - SendPullRequests(t) drains the per-cache request queues upstream as
+///     kPullRequest control mail, each request consuming one unit of the
+///     leaf edge's remaining tick budget — after refresh deliveries, ahead
+///     of surplus feedback.
+///   - OnRefreshDelivered(message, t) runs for every refresh landing at a
+///     cache (pushes and pull responses alike): it installs non-resident
+///     members (evicting under the configured policy) and resolves the
+///     pending reads waiting on the object.
+///
+/// Disabled (no reads configured and unbounded capacity) the object is
+/// inert: no RNG is created, no state is touched, and the scheduler's
+/// behavior is bitwise identical to the pre-read-path engine.
+class ReadPath {
+ public:
+  ReadPath() = default;
+
+  /// Builds the per-cache stores and read streams from the harness's
+  /// workload. Trace streams attached to the workload (read_streams) are
+  /// used in place after a Reset() — the workload-sharing hazard of
+  /// exp/runner.h applies; Poisson/Zipf streams are built privately from
+  /// ReadWorkloadConfig when read_rate > 0. `harness` must outlive this.
+  void Initialize(Harness* harness, int num_caches);
+
+  /// True when the read path participates in the run at all (client reads
+  /// configured or finite capacity).
+  bool enabled() const { return enabled_; }
+  /// True when client reads are generated (rate- or trace-driven).
+  bool reads_enabled() const { return reads_enabled_; }
+
+  void ProcessReads(double t);
+  void SendPullRequests(double t, Network* network);
+  void OnRefreshDelivered(const Message& message, double t);
+
+  /// Measurement-window reset (residency and pending pulls persist; only
+  /// statistics are zeroed).
+  void OnMeasurementStart();
+
+  /// Merged counters (per-cache staleness digests merged in cache order —
+  /// deterministic).
+  ReadPathCounters Counters() const;
+
+  // Introspection (tests).
+  const CacheStore& store(int cache_id) const { return caches_[cache_id].store; }
+
+ private:
+  /// One replica's in-flight pull state.
+  struct PendingPull {
+    bool active = false;     ///< >= 1 read is waiting on this replica
+    bool enqueued = false;   ///< a request sits in the request queue
+    bool requested = false;  ///< a request has been sent upstream
+    double last_request_time = 0.0;
+    int64_t waiting_reads = 0;
+    /// Sum of the waiting reads' timestamps (miss-latency accounting).
+    double waiting_time_sum = 0.0;
+  };
+
+  struct CacheState {
+    explicit CacheState(CacheStore s) : store(std::move(s)) {}
+
+    int32_t cache_id = 0;
+    CacheStore store;
+    /// Null when this cache generates no reads.
+    ReadProcess* stream = nullptr;
+    std::unique_ptr<ReadProcess> owned_stream;
+    Rng rng{0};
+    double next_read_time = 0.0;
+    /// Per-slot pending pulls; sized only for capacity-limited stores.
+    std::vector<PendingPull> pending;
+    /// Slots with an unsent pull request, in miss order.
+    std::deque<int64_t> request_queue;
+    QuantileDigest staleness;
+  };
+
+  void HandleRead(CacheState* cache, int64_t slot, double t);
+  void ResolveDelivery(CacheState* cache, ObjectIndex index, double t, bool is_pull);
+  double ReplicaDivergence(const CacheState& cache, ObjectIndex index) const;
+
+  Harness* harness_ = nullptr;
+  ReadWorkloadConfig config_;
+  bool enabled_ = false;
+  bool reads_enabled_ = false;
+  std::vector<CacheState> caches_;
+  int64_t reads_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t pull_requests_ = 0;
+  int64_t pulls_delivered_ = 0;
+  double miss_latency_sum_ = 0.0;
+  int64_t miss_latency_count_ = 0;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_READ_READ_PATH_H_

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Records the bench trajectory baseline (BENCH_readpath.json).
+
+Runs bench_readpath and bench_multicache from a build directory with
+--json, validates each output against the besync.run_results.v1 schema,
+and writes the combined, schema-stamped baseline at the repo root. The
+bench JSON deliberately excludes timings (exp/runner.h), so the baseline
+is a deterministic function of the bench configs — reruns on an unchanged
+tree produce identical bytes, and any diff in a PR is a real behavioral
+change in the recorded grids.
+
+Usage:
+  tools/record_bench.py [--build-dir build] [--out BENCH_readpath.json]
+  tools/record_bench.py --check   # validate the committed baseline only
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RUN_RESULTS_SCHEMA = "besync.run_results.v1"
+BASELINE_SCHEMA = "besync.bench_baseline.v1"
+DEFAULT_OUT = "BENCH_readpath.json"
+
+# One entry per recorded bench: (binary, extra args). Default scales keep
+# the whole recording under a minute on one core.
+BENCHES = {
+    "bench_readpath": [],
+    "bench_multicache": [],
+}
+
+# Fields every run_results row must carry (exp/runner.h).
+REQUIRED_RESULT_KEYS = {
+    "name", "scheduler", "policy", "metric", "num_caches",
+    "cache_bandwidth_avg", "source_bandwidth_avg", "loss_rate",
+    "workload_seed", "ok", "error", "total_weighted_divergence",
+    "per_cache_weighted", "per_object_weighted", "per_object_unweighted",
+    "total_replicas", "refreshes_sent", "refreshes_delivered",
+    "feedback_sent", "polls_sent", "cache_utilization",
+}
+# Fields read-enabled rows additionally carry.
+READ_RESULT_KEYS = {
+    "read_rate", "capacity", "eviction", "reads_total", "read_hits",
+    "read_misses", "hit_rate", "pull_requests_sent", "pulls_delivered",
+    "cache_evictions", "read_staleness_mean", "read_staleness_p50",
+    "read_staleness_p95", "read_staleness_p99", "read_miss_latency_mean",
+    "pull_bandwidth_share",
+}
+
+
+def fail(message):
+    print(f"record_bench: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_run_results(doc, context):
+    if doc.get("schema") != RUN_RESULTS_SCHEMA:
+        fail(f"{context}: schema is {doc.get('schema')!r}, "
+             f"expected {RUN_RESULTS_SCHEMA!r}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        fail(f"{context}: empty or missing results array")
+    for i, row in enumerate(results):
+        missing = REQUIRED_RESULT_KEYS - row.keys()
+        if missing:
+            fail(f"{context}: result {i} missing keys {sorted(missing)}")
+        if not row["ok"]:
+            fail(f"{context}: result {i} ({row['name']!r}) failed: "
+                 f"{row['error']!r}")
+        extra_read = row.keys() & READ_RESULT_KEYS
+        if extra_read and extra_read != READ_RESULT_KEYS:
+            fail(f"{context}: result {i} carries a partial read-field set "
+                 f"{sorted(extra_read)}")
+
+
+def validate_baseline(doc, context):
+    if doc.get("schema") != BASELINE_SCHEMA:
+        fail(f"{context}: schema is {doc.get('schema')!r}, "
+             f"expected {BASELINE_SCHEMA!r}")
+    benches = doc.get("benches")
+    if not isinstance(benches, dict) or not benches:
+        fail(f"{context}: empty or missing benches object")
+    for name, results_doc in benches.items():
+        validate_run_results(results_doc, f"{context}: bench {name!r}")
+    # bench_readpath is the point of this baseline: require its read rows.
+    readpath = benches.get("bench_readpath")
+    if readpath is None:
+        fail(f"{context}: missing bench_readpath entry")
+    if not any("hit_rate" in row for row in readpath["results"]):
+        fail(f"{context}: bench_readpath recorded no read-enabled rows")
+
+
+def run_bench(build_dir, name, extra_args):
+    binary = os.path.join(build_dir, name)
+    if not os.path.exists(binary):
+        fail(f"{binary} not found — build the tree first "
+             f"(cmake -B {build_dir} -S . && cmake --build {build_dir} -j)")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    try:
+        command = [binary, f"--json={json_path}"] + extra_args
+        result = subprocess.run(command, stdout=subprocess.DEVNULL,
+                                stderr=subprocess.PIPE, text=True)
+        if result.returncode != 0:
+            fail(f"{name} exited {result.returncode}:\n{result.stderr}")
+        with open(json_path) as f:
+            doc = json.load(f)
+    finally:
+        os.unlink(json_path)
+    validate_run_results(doc, name)
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="build directory holding the bench binaries")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="baseline path, relative to the repo root")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the committed baseline and exit "
+                             "(no benches are run)")
+    args = parser.parse_args()
+
+    out_path = os.path.join(REPO_ROOT, args.out)
+    if args.check:
+        if not os.path.exists(out_path):
+            fail(f"{out_path} does not exist; run tools/record_bench.py to "
+                 f"record it")
+        with open(out_path) as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as error:
+                fail(f"{out_path} is not valid JSON: {error}")
+        validate_baseline(doc, args.out)
+        print(f"record_bench: {args.out} OK "
+              f"({sum(len(b['results']) for b in doc['benches'].values())} "
+              f"recorded rows)")
+        return
+
+    build_dir = args.build_dir if os.path.isabs(args.build_dir) \
+        else os.path.join(REPO_ROOT, args.build_dir)
+    baseline = {
+        "schema": BASELINE_SCHEMA,
+        "benches": {name: run_bench(build_dir, name, extra)
+                    for name, extra in sorted(BENCHES.items())},
+    }
+    validate_baseline(baseline, "recorded baseline")
+    # Sorted keys + fixed separators: the bytes depend only on the results.
+    with open(out_path, "w") as f:
+        json.dump(baseline, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"record_bench: wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()
