@@ -20,16 +20,21 @@ namespace besync {
 ///   --json <path> dump raw per-job RunResults as JSON (exp/runner.h schema)
 ///   --threads <n> experiment-runner worker threads (0 = hardware cores)
 ///   --seed <n>    workload seed override
+///   --perf        add a "perf" member (wall time, peak RSS, us/refresh) to
+///                 the --json output; off by default because those fields
+///                 are nondeterministic and would break the byte-identical
+///                 JSON guarantee the trajectory baselines rely on
 struct BenchOptions {
   bool full = false;
   std::string csv;
   std::string json;
   int threads = 1;
   uint64_t seed = 1;
+  bool perf = false;
 
   static BenchOptions Parse(int argc, char** argv,
                             std::vector<std::string> extra_flags = {}) {
-    std::vector<std::string> known{"full", "csv", "json", "threads", "seed"};
+    std::vector<std::string> known{"full", "csv", "json", "threads", "seed", "perf"};
     for (auto& flag : extra_flags) known.push_back(std::move(flag));
     Flags flags;
     const Status status = Flags::Parse(argc, argv, known, &flags);
@@ -43,6 +48,7 @@ struct BenchOptions {
     options.json = flags.GetString("json", "");
     options.threads = static_cast<int>(flags.GetInt("threads", 1));
     options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+    options.perf = flags.GetBool("perf", false);
     options.flags = flags;
     return options;
   }
@@ -128,14 +134,77 @@ inline void EmitTable(const TablePrinter& table, const BenchOptions& options) {
   }
 }
 
+/// Peak resident set size of this process in bytes, read from
+/// /proc/self/status (VmHWM). Returns 0 where the proc interface is
+/// unavailable (non-Linux) — graceful degradation, never an error.
+inline int64_t ReadPeakRssBytes() {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  int64_t bytes = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    long long kib = 0;
+    if (std::sscanf(line, "VmHWM: %lld kB", &kib) == 1) {
+      bytes = static_cast<int64_t>(kib) * 1024;
+      break;
+    }
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+/// Run-cost summary of a bench invocation: total per-job wall seconds
+/// (overlapping under --threads > 1), peak RSS, and the headline
+/// microseconds-per-delivered-refresh. Emitted into --json output under the
+/// stable "perf" member when --perf is set.
+struct BenchPerf {
+  double run_seconds = 0.0;
+  int64_t peak_rss_bytes = 0;
+  int64_t refreshes_delivered = 0;
+  double us_per_refresh = 0.0;
+};
+
+inline BenchPerf BenchPerfFromResults(const std::vector<JobResult>& results) {
+  BenchPerf perf;
+  for (const JobResult& job : results) {
+    perf.run_seconds += job.wall_seconds;
+    if (job.status.ok()) {
+      perf.refreshes_delivered += job.result.scheduler.refreshes_delivered;
+    }
+  }
+  perf.peak_rss_bytes = ReadPeakRssBytes();
+  perf.us_per_refresh =
+      perf.refreshes_delivered > 0
+          ? perf.run_seconds * 1e6 / static_cast<double>(perf.refreshes_delivered)
+          : 0.0;
+  return perf;
+}
+
+/// Serializes `perf` as the pre-rendered top-level JSON member consumed by
+/// WriteResultsJson's `extra_top_level` parameter.
+inline std::string PerfJsonFragment(const BenchPerf& perf) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"perf\": {\"run_seconds\": %.6f, \"peak_rss_bytes\": %lld, "
+                "\"refreshes_delivered\": %lld, \"us_per_refresh\": %.4f}",
+                perf.run_seconds, static_cast<long long>(perf.peak_rss_bytes),
+                static_cast<long long>(perf.refreshes_delivered),
+                perf.us_per_refresh);
+  return buffer;
+}
+
 /// Writes the raw runner results to --json when requested (BENCH_*.json
-/// trajectory tracking; byte-identical at any --threads). Exits nonzero
-/// when the requested output cannot be written — a caller scripting
-/// trajectory capture must not mistake a silent no-op for success.
+/// trajectory tracking; byte-identical at any --threads). With --perf the
+/// output additionally carries the nondeterministic "perf" member — never
+/// use --perf for recorded baselines. Exits nonzero when the requested
+/// output cannot be written — a caller scripting trajectory capture must
+/// not mistake a silent no-op for success.
 inline void EmitJson(const std::vector<JobResult>& results,
                      const BenchOptions& options) {
   if (options.json.empty()) return;
-  const Status status = WriteResultsJson(options.json, results);
+  const std::string extra =
+      options.perf ? PerfJsonFragment(BenchPerfFromResults(results)) : std::string();
+  const Status status = WriteResultsJson(options.json, results, extra);
   if (!status.ok()) {
     std::fprintf(stderr, "JSON write failed: %s\n", status.ToString().c_str());
     std::exit(1);

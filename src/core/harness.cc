@@ -22,12 +22,23 @@ Harness::Harness(const Workload* workload, const DivergenceMetric* metric,
   BESYNC_CHECK_GT(config.tick_length, 0.0);
   BESYNC_CHECK_GE(config.warmup, 0.0);
   BESYNC_CHECK_GT(config.measure, 0.0);
-  owned_ground_truth_ = std::make_unique<GroundTruth>(workload, metric);
+  owned_ground_truth_ =
+      std::make_unique<GroundTruth>(workload, metric, /*use_source_weights=*/false,
+                                    &arena_);
   primary_ground_truth_ = owned_ground_truth_.get();
   ground_truths_.push_back(primary_ground_truth_);
   objects_.reserve(workload->objects.size());
+  size_t total_replicas = 0;
   for (const ObjectSpec& spec : workload->objects) {
-    objects_.emplace_back(&spec, metric);
+    objects_.emplace_back(&spec);
+    total_replicas += static_cast<size_t>(spec.num_replicas());
+  }
+  DivergenceTracker* trackers =
+      arena_.AllocateArray<DivergenceTracker>(total_replicas, metric);
+  for (ObjectRuntime& object : objects_) {
+    object.trackers = trackers;
+    object.num_replicas = object.spec->num_replicas();
+    trackers += object.num_replicas;
   }
 }
 
@@ -93,8 +104,8 @@ void Harness::OnUpdateEvent(ObjectIndex index, double t) {
   object.state.value = object.spec->process->ApplyUpdate(object.state.value, &object.rng);
   ++object.state.version;
   object.state.last_update_time = t;
-  for (DivergenceTracker& tracker : object.trackers) {
-    tracker.OnUpdate(t, object.state.value, object.state.version);
+  for (int r = 0; r < object.num_replicas; ++r) {
+    object.trackers[r].OnUpdate(t, object.state.value, object.state.version);
   }
   for (GroundTruth* ground_truth : ground_truths_) {
     ground_truth->OnSourceUpdate(index, t, object.state.value, object.state.version);
@@ -122,8 +133,8 @@ Status Harness::Run(Scheduler* scheduler) {
     object.state.value = object.spec->initial_value;
     object.state.version = 0;
     object.state.last_update_time = -1.0;
-    for (DivergenceTracker& tracker : object.trackers) {
-      tracker.OnRefresh(0.0, object.state.value, 0);
+    for (int r = 0; r < object.num_replicas; ++r) {
+      object.trackers[r].OnRefresh(0.0, object.state.value, 0);
     }
   }
   for (GroundTruth* ground_truth : ground_truths_) ground_truth->Initialize(0.0);

@@ -13,6 +13,7 @@
 #include "divergence/tracker.h"
 #include "net/message.h"
 #include "sim/simulation.h"
+#include "util/arena.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -51,15 +52,15 @@ struct ObjectRuntime {
   const ObjectSpec* spec = nullptr;
   ObjectState state;
   /// Source-side divergence bookkeeping, one tracker per replica (vs. the
-  /// value last shipped to that cache), aligned with spec->caches.
-  std::vector<DivergenceTracker> trackers;
+  /// value last shipped to that cache), aligned with spec->caches. Points
+  /// into the harness arena's flat tracker array — every object's trackers
+  /// are consecutive slices of one allocation, not a million tiny vectors.
+  DivergenceTracker* trackers = nullptr;
+  int num_replicas = 0;
   /// Private RNG stream driving this object's updates.
   Rng rng;
 
-  ObjectRuntime(const ObjectSpec* s, const DivergenceMetric* metric)
-      : spec(s), trackers(static_cast<size_t>(s->num_replicas()),
-                          DivergenceTracker(metric)),
-        rng(s->rng_seed) {}
+  explicit ObjectRuntime(const ObjectSpec* s) : spec(s), rng(s->rng_seed) {}
 
   /// Tracker of replica slot `r` (slot 0 is the only replica in the paper's
   /// single-cache topology).
@@ -165,6 +166,10 @@ class Harness {
   const ObjectRuntime& object(ObjectIndex index) const { return objects_[index]; }
   GroundTruth& ground_truth() { return *primary_ground_truth_; }
   Rng* scheduler_rng() { return &scheduler_rng_; }
+  /// Run-lifetime bump allocator for hot-path per-replica state (trackers,
+  /// ground-truth entries, source channel tables). Allocations live until
+  /// the harness dies; allocated types must be trivially destructible.
+  Arena* arena() { return &arena_; }
 
   /// Cache-scheme weight W(O_i, t).
   double WeightAt(ObjectIndex index, double t) const;
@@ -201,6 +206,9 @@ class Harness {
   const DivergenceMetric* metric_;
   HarnessConfig config_;
   Simulation sim_;
+  /// Backs the flat tracker array and the primary ground truth's replica
+  /// entries; declared before the structures pointing into it.
+  Arena arena_;
   std::vector<ObjectRuntime> objects_;
   std::unique_ptr<GroundTruth> owned_ground_truth_;
   GroundTruth* primary_ground_truth_;

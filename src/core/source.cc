@@ -50,6 +50,10 @@ void SourceAgent::BuildChannels() {
   BESYNC_CHECK(!cache_ids.empty()) << "source " << index_ << " has no objects";
 
   channels_.reserve(cache_ids.size());
+  Arena* arena = harness_->arena();
+  // Scratch reused across channels; the arena copies are exact-sized.
+  std::vector<ObjectIndex> channel_members;
+  std::vector<int32_t> channel_replicas;
   for (int32_t cache_id : cache_ids) {
     double period = expected_feedback_period_;
     if (cache_id < static_cast<int32_t>(feedback_periods_by_cache_.size()) &&
@@ -57,16 +61,24 @@ void SourceAgent::BuildChannels() {
       period = feedback_periods_by_cache_[cache_id];
     }
     Channel channel(cache_id, config_.threshold, period);
-    channel.slot_of.assign(members_.size(), -1);
+    channel.slot_of = arena->AllocateArray<int32_t>(members_.size(), -1);
+    channel_members.clear();
+    channel_replicas.clear();
     for (size_t k = 0; k < members_.size(); ++k) {
       const ObjectIndex index = members_[k];
       const int replica = harness_->object(index).spec->replica_slot(cache_id);
       if (replica < 0) continue;
-      channel.slot_of[k] = static_cast<int32_t>(channel.members.size());
-      channel.members.push_back(index);
-      channel.replica_slots.push_back(replica);
-      channel.locals.emplace_back();
+      channel.slot_of[k] = static_cast<int32_t>(channel_members.size());
+      channel_members.push_back(index);
+      channel_replicas.push_back(static_cast<int32_t>(replica));
     }
+    channel.num_members = static_cast<int32_t>(channel_members.size());
+    channel.members = arena->AllocateArray<ObjectIndex>(channel_members.size());
+    channel.replica_slots = arena->AllocateArray<int32_t>(channel_replicas.size());
+    std::copy(channel_members.begin(), channel_members.end(), channel.members);
+    std::copy(channel_replicas.begin(), channel_replicas.end(),
+              channel.replica_slots);
+    channel.locals = arena->AllocateArray<LocalState>(channel_members.size());
     channels_.push_back(std::move(channel));
   }
 }
@@ -84,10 +96,8 @@ SourceAgent::LocalState& SourceAgent::local(Channel* channel, ObjectIndex index)
   return channel->locals[ChannelSlot(*channel, index)];
 }
 
-EpochFn SourceAgent::MakeEpochFn(const Channel* channel) const {
-  return [this, channel](ObjectIndex index) {
-    return channel->locals[ChannelSlot(*channel, index)].epoch;
-  };
+SourceAgent::ChannelEpoch SourceAgent::MakeEpochFn(const Channel* channel) const {
+  return ChannelEpoch{channel->locals, channel->slot_of, first_member_};
 }
 
 PriorityContext SourceAgent::MakeContext(const Channel& channel, ObjectIndex index,
@@ -161,7 +171,9 @@ void SourceAgent::Start(Simulation* sim, double tick_length) {
   BuildChannels();
   if (policy_->time_varying()) {
     for (Channel& channel : channels_) {
-      for (ObjectIndex index : channel.members) PushWake(&channel, index, 0.0);
+      for (int32_t s = 0; s < channel.num_members; ++s) {
+        PushWake(&channel, channel.members[s], 0.0);
+      }
     }
   }
   if (config_.monitor == MonitorMode::kSampling) {
@@ -207,8 +219,8 @@ void SourceAgent::OnObjectUpdate(ObjectIndex index, double t) {
 }
 
 void SourceAgent::MaybeCompact(Channel* channel) {
-  const size_t trigger = 4 * channel->members.size() + 64;
-  const EpochFn epoch_fn = MakeEpochFn(channel);
+  const size_t trigger = 4 * static_cast<size_t>(channel->num_members) + 64;
+  const ChannelEpoch epoch_fn = MakeEpochFn(channel);
   if (channel->queue.size() > trigger) channel->queue.Compact(epoch_fn);
   if (secondary_enabled_ && channel->secondary_queue.size() > trigger) {
     channel->secondary_queue.Compact(epoch_fn);
@@ -268,7 +280,8 @@ void SourceAgent::OnFeedback(const Message& message, double t) {
   if (policy_->time_varying()) {
     // The threshold may have dropped: re-arm this channel's wake-ups so
     // crossings that are now earlier are not missed.
-    for (ObjectIndex index : channel->members) {
+    for (int32_t s = 0; s < channel->num_members; ++s) {
+      const ObjectIndex index = channel->members[s];
       ++local(channel, index).epoch;
       PushWake(channel, index, t);
     }
@@ -285,7 +298,7 @@ void SourceAgent::PushWake(Channel* channel, ObjectIndex index, double now) {
 }
 
 void SourceAgent::EmitRefresh(Channel* channel, ObjectIndex index, double now,
-                              Link* cache_link, bool bump_threshold,
+                              const EmitSink& sink, bool bump_threshold,
                               double priority) {
   const int slot = ChannelSlot(*channel, index);
   LocalState& state = channel->locals[slot];
@@ -305,7 +318,7 @@ void SourceAgent::EmitRefresh(Channel* channel, ObjectIndex index, double now,
   // information the cache can have about this source.
   message.piggyback_threshold = channel->controller.threshold();
   message.forward_priority = priority;
-  cache_link->Enqueue(message);
+  sink.Deliver(std::move(message));
   ++state.epoch;
   ++refreshes_sent_;
   channel->last_emit_time = now;
@@ -353,7 +366,7 @@ Message SourceAgent::ServePull(ObjectIndex index, int32_t cache_id, double now) 
 }
 
 void SourceAgent::EmitBatch(Channel* channel, const std::vector<QueueEntry>& batch,
-                            double now, Link* cache_link) {
+                            double now, const EmitSink& sink) {
   BESYNC_DCHECK(!batch.empty());
   Message message;
   for (size_t k = 0; k < batch.size(); ++k) {
@@ -385,29 +398,42 @@ void SourceAgent::EmitBatch(Channel* channel, const std::vector<QueueEntry>& bat
   message.piggyback_threshold = channel->controller.threshold();
   // The batch was popped in priority order, so entry 0 holds its maximum.
   message.forward_priority = batch.front().key;
-  cache_link->Enqueue(message);
+  sink.Deliver(std::move(message));
   channel->last_emit_time = now;
 }
 
 int64_t SourceAgent::SendRefreshes(double now, Link* source_link, Link* cache_link,
                                    int channel_index) {
+  return SendRefreshesToSink(now, source_link, EmitSink{cache_link, nullptr},
+                             channel_index);
+}
+
+int64_t SourceAgent::SendRefreshesBuffered(double now, Link* source_link,
+                                           std::vector<Message>* out,
+                                           int channel_index) {
+  return SendRefreshesToSink(now, source_link, EmitSink{nullptr, out},
+                             channel_index);
+}
+
+int64_t SourceAgent::SendRefreshesToSink(double now, Link* source_link,
+                                         const EmitSink& sink, int channel_index) {
   BESYNC_DCHECK(channel_index >= 0 && channel_index < num_channels());
   Channel* channel = &channels_[channel_index];
   // Channel 0 opens the source's send phase for this tick; the flag then
   // accumulates across the remaining channels (they share the source link).
   if (channel_index == 0) at_full_capacity_ = false;
   if (policy_->time_varying()) {
-    return SendRefreshesTimeVarying(channel, now, source_link, cache_link);
+    return SendRefreshesTimeVarying(channel, now, source_link, sink);
   }
-  return SendRefreshesEventKeyed(channel, now, source_link, cache_link);
+  return SendRefreshesEventKeyed(channel, now, source_link, sink);
 }
 
 int64_t SourceAgent::SendRefreshesEventKeyed(Channel* channel, double now,
-                                             Link* source_link, Link* cache_link) {
+                                             Link* source_link, const EmitSink& sink) {
   if (config_.max_batch > 1) {
-    return SendRefreshesBatched(channel, now, source_link, cache_link);
+    return SendRefreshesBatched(channel, now, source_link, sink);
   }
-  const EpochFn epoch_fn = MakeEpochFn(channel);
+  const ChannelEpoch epoch_fn = MakeEpochFn(channel);
   int64_t sent = 0;
   QueueEntry top;
   while (channel->queue.PopValid(epoch_fn, &top)) {
@@ -423,7 +449,7 @@ int64_t SourceAgent::SendRefreshesEventKeyed(Channel* channel, double now,
       at_full_capacity_ = true;
       break;
     }
-    EmitRefresh(channel, top.index, now, cache_link, /*bump_threshold=*/true,
+    EmitRefresh(channel, top.index, now, sink, /*bump_threshold=*/true,
                 top.key);
     ++sent;
   }
@@ -431,12 +457,14 @@ int64_t SourceAgent::SendRefreshesEventKeyed(Channel* channel, double now,
 }
 
 int64_t SourceAgent::SendRefreshesBatched(Channel* channel, double now,
-                                          Link* source_link, Link* cache_link) {
-  const EpochFn epoch_fn = MakeEpochFn(channel);
+                                          Link* source_link, const EmitSink& sink) {
+  const ChannelEpoch epoch_fn = MakeEpochFn(channel);
   int64_t messages = 0;
   while (true) {
-    // Gather up to max_batch over-threshold objects.
-    std::vector<QueueEntry> batch;
+    // Gather up to max_batch over-threshold objects (reused scratch — the
+    // loop runs every tick for every channel).
+    std::vector<QueueEntry>& batch = scratch_batch_;
+    batch.clear();
     QueueEntry top;
     while (static_cast<int>(batch.size()) < config_.max_batch &&
            channel->queue.PopValid(epoch_fn, &top)) {
@@ -459,7 +487,7 @@ int64_t SourceAgent::SendRefreshesBatched(Channel* channel, double now,
       at_full_capacity_ = true;
       break;
     }
-    EmitBatch(channel, batch, now, cache_link);
+    EmitBatch(channel, batch, now, sink);
     ++messages;
     if (!full) break;  // the queue is drained below the batch size
   }
@@ -470,7 +498,8 @@ int64_t SourceAgent::SendSecondary(double now, int64_t max_count, Link* source_l
                                    Link* cache_link, int channel_index) {
   BESYNC_CHECK(secondary_enabled_);
   Channel* channel = &channels_[channel_index];
-  const EpochFn epoch_fn = MakeEpochFn(channel);
+  const ChannelEpoch epoch_fn = MakeEpochFn(channel);
+  const EmitSink sink{cache_link, nullptr};
   int64_t sent = 0;
   QueueEntry top;
   while (sent < max_count && channel->secondary_queue.PopValid(epoch_fn, &top)) {
@@ -484,7 +513,7 @@ int64_t SourceAgent::SendSecondary(double now, int64_t max_count, Link* source_l
       at_full_capacity_ = true;
       break;
     }
-    EmitRefresh(channel, top.index, now, cache_link, /*bump_threshold=*/false,
+    EmitRefresh(channel, top.index, now, sink, /*bump_threshold=*/false,
                 top.key);
     ++sent;
   }
@@ -492,10 +521,13 @@ int64_t SourceAgent::SendSecondary(double now, int64_t max_count, Link* source_l
 }
 
 int64_t SourceAgent::SendRefreshesTimeVarying(Channel* channel, double now,
-                                              Link* source_link, Link* cache_link) {
-  const EpochFn epoch_fn = MakeEpochFn(channel);
-  // Collect all wake-ups that are due and compute their live priorities.
-  std::vector<QueueEntry> due;
+                                              Link* source_link, const EmitSink& sink) {
+  const ChannelEpoch epoch_fn = MakeEpochFn(channel);
+  // Collect all wake-ups that are due and compute their live priorities
+  // (reused scratch; the unstable sort below is over exactly the same
+  // entries in the same pre-sort order as a fresh vector would hold).
+  std::vector<QueueEntry>& due = scratch_due_;
+  due.clear();
   QueueEntry entry;
   while (channel->wake_queue.PopDue(now, epoch_fn, &entry)) {
     entry.key = ChannelPriority(*channel, entry.index, now);
@@ -512,7 +544,7 @@ int64_t SourceAgent::SendRefreshesTimeVarying(Channel* channel, double now,
     const int64_t cost = harness_->object(candidate.index).spec->refresh_cost;
     if (over_threshold && !at_full_capacity_ &&
         source_link->TryConsumeAllowingDeficit(cost)) {
-      EmitRefresh(channel, candidate.index, now, cache_link, /*bump_threshold=*/true,
+      EmitRefresh(channel, candidate.index, now, sink, /*bump_threshold=*/true,
                   candidate.key);
       ++sent;
       PushWake(channel, candidate.index, now);  // re-arm from the new t_last

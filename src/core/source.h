@@ -88,7 +88,9 @@ class SourceAgent {
   /// run processed — pinned by the heap-growth regression test.
   size_t queue_size(int k = 0) const { return channels_[k].queue.size(); }
   /// Live objects replicated at channel `k`'s cache.
-  size_t channel_num_objects(int k = 0) const { return channels_[k].members.size(); }
+  size_t channel_num_objects(int k = 0) const {
+    return static_cast<size_t>(channels_[k].num_members);
+  }
 
   /// Registers an object hosted by this source. Objects of one source must
   /// form a contiguous index range (as produced by the workload generators).
@@ -118,6 +120,16 @@ class SourceAgent {
   /// tick: it clears the full-capacity flag.
   int64_t SendRefreshes(double now, Link* source_link, Link* cache_link,
                         int channel = 0);
+
+  /// SendRefreshes with the emitted messages appended to `out` instead of
+  /// enqueued on the cache link — the compute half of the sharded send
+  /// phase. Everything the call touches (channel queues, trackers,
+  /// controller, the source link's budget) is private to this source, so
+  /// buffered sends run concurrently across sources; the scheduler then
+  /// enqueues the buffers onto the (shared) cache links serially, in the
+  /// shuffled source order, reproducing the serial phase bit for bit.
+  int64_t SendRefreshesBuffered(double now, Link* source_link,
+                                std::vector<Message>* out, int channel = 0);
 
   /// Enables the secondary, source-objective priority queues used by the
   /// competitive protocol (Section 7): updates are additionally prioritized
@@ -166,7 +178,10 @@ class SourceAgent {
 
   /// Per-cache protocol state: threshold controller T_{j,c}, the priority
   /// queues over the objects replicated at the cache, and the per-replica
-  /// monitoring state.
+  /// monitoring state. The fixed-size per-object tables (members, slot_of,
+  /// replica_slots, locals) are arena spans carved from the harness run
+  /// arena by BuildChannels — sized once from the interest map, never
+  /// resized, and freed wholesale with the run.
   struct Channel {
     Channel(int32_t cache, const ThresholdConfig& config, double feedback_period)
         : cache_id(cache), controller(config, feedback_period, /*start_time=*/0.0) {}
@@ -174,12 +189,14 @@ class SourceAgent {
     int32_t cache_id;
     ThresholdController controller;
     /// Objects replicated at this cache (ascending global indices).
-    std::vector<ObjectIndex> members;
-    /// Source-local object offset -> channel slot, -1 if not replicated.
-    std::vector<int32_t> slot_of;
+    ObjectIndex* members = nullptr;
+    int32_t num_members = 0;
+    /// Source-local object offset -> channel slot, -1 if not replicated
+    /// (size = the source's total object count).
+    int32_t* slot_of = nullptr;
     /// Replica slot of each channel member at this cache (tracker index).
-    std::vector<int32_t> replica_slots;
-    std::vector<LocalState> locals;
+    int32_t* replica_slots = nullptr;
+    LocalState* locals = nullptr;
     /// Event-keyed queue: priority recomputed on updates (or samples).
     LazyMaxHeap queue;
     /// Competitive mode: the same objects keyed by the source's own priority.
@@ -189,15 +206,43 @@ class SourceAgent {
     double last_emit_time = 0.0;
   };
 
+  /// Inlined epoch resolver over a channel's local-state table. A plain
+  /// struct (not a type-erased EpochFn) so the heap templates inline the
+  /// lookup — the staleness check runs once per heap comparison on the
+  /// send-phase hot path.
+  struct ChannelEpoch {
+    const LocalState* locals;
+    const int32_t* slot_of;
+    ObjectIndex first_member;
+    uint64_t operator()(ObjectIndex index) const {
+      return locals[slot_of[index - first_member]].epoch;
+    }
+  };
+
   void BuildChannels();
   int ChannelSlot(const Channel& channel, ObjectIndex index) const;
   LocalState& local(Channel* channel, ObjectIndex index);
-  EpochFn MakeEpochFn(const Channel* channel) const;
+  ChannelEpoch MakeEpochFn(const Channel* channel) const;
   PriorityContext MakeContext(const Channel& channel, ObjectIndex index, double now,
                               bool use_source_weight) const;
   double ChannelPriority(const Channel& channel, ObjectIndex index, double now) const;
   double ChannelSourcePriority(const Channel& channel, ObjectIndex index,
                                double now) const;
+
+  /// Destination of emitted refreshes: the cache's tier-1 edge link
+  /// (serial send phase, direct enqueue) or a per-source buffer the
+  /// scheduler flushes in the canonical order (sharded send phase).
+  struct EmitSink {
+    Link* link = nullptr;
+    std::vector<Message>* buffer = nullptr;
+    void Deliver(Message&& message) const {
+      if (link != nullptr) {
+        link->Enqueue(std::move(message));
+      } else {
+        buffer->push_back(std::move(message));
+      }
+    }
+  };
 
   void OnSampleEvent(int channel_index, ObjectIndex index, double t, Simulation* sim);
   void ScheduleNextSample(int channel_index, ObjectIndex index, double now,
@@ -206,19 +251,21 @@ class SourceAgent {
   /// secured). Threshold bumping applies only to refreshes governed by the
   /// threshold protocol. `priority` is the queue key that won the send slot,
   /// stamped on the message for priority-preserving relay forwarding.
-  void EmitRefresh(Channel* channel, ObjectIndex index, double now, Link* cache_link,
-                   bool bump_threshold, double priority);
+  void EmitRefresh(Channel* channel, ObjectIndex index, double now,
+                   const EmitSink& sink, bool bump_threshold, double priority);
   /// Sends one batched message covering all of `batch` (unit cost).
   void EmitBatch(Channel* channel, const std::vector<QueueEntry>& batch, double now,
-                 Link* cache_link);
+                 const EmitSink& sink);
   /// Re-arms the wake-up entry of `index` (time-varying policies).
   void PushWake(Channel* channel, ObjectIndex index, double now);
+  int64_t SendRefreshesToSink(double now, Link* source_link, const EmitSink& sink,
+                              int channel);
   int64_t SendRefreshesEventKeyed(Channel* channel, double now, Link* source_link,
-                                  Link* cache_link);
+                                  const EmitSink& sink);
   int64_t SendRefreshesBatched(Channel* channel, double now, Link* source_link,
-                               Link* cache_link);
+                               const EmitSink& sink);
   int64_t SendRefreshesTimeVarying(Channel* channel, double now, Link* source_link,
-                                   Link* cache_link);
+                                   const EmitSink& sink);
   void MaybeCompact(Channel* channel);
 
   int index_;
@@ -236,6 +283,10 @@ class SourceAgent {
   int64_t refreshes_sent_ = 0;
   double granted_rate_ = 0.0;
   Simulation* sim_ = nullptr;
+  /// Send-phase scratch, reused across ticks so the per-tick loops do not
+  /// reallocate (batched gathering and due time-varying wake-ups).
+  std::vector<QueueEntry> scratch_batch_;
+  std::vector<QueueEntry> scratch_due_;
 };
 
 }  // namespace besync

@@ -123,8 +123,18 @@ void CooperativeScheduler::Initialize(Harness* harness) {
 
   // The client read side: per-cache streams, stores and pull bookkeeping.
   // Inert — no RNG created, no stream state — unless the workload
-  // configures reads or a finite capacity.
+  // configures reads or a finite tier capacity.
   read_path_.Initialize(harness, num_caches);
+
+  // Intra-run sharding team. The sharded phases are bitwise identical to
+  // the sequential ones (see SendPhaseSharded / CollectDeliveriesSharded),
+  // so run_threads is a pure throughput knob.
+  shard_pool_.reset();
+  if (config_.run_threads > 1) {
+    shard_pool_ = std::make_unique<ShardPool>(config_.run_threads);
+    send_buffers_.assign(static_cast<size_t>(m), {});
+    deliver_buffers_.assign(static_cast<size_t>(num_caches), {});
+  }
 }
 
 void CooperativeScheduler::OnObjectUpdate(ObjectIndex index, double t) {
@@ -149,8 +159,13 @@ void CooperativeScheduler::FillFeedback(Message* /*feedback*/, int /*source_inde
 
 void CooperativeScheduler::SendPhase(double t) {
   // Random source visiting order so no source systematically wins the race
-  // for queue positions on a shared cache link.
+  // for queue positions on a shared cache link. The shuffle draws from the
+  // scheduler RNG on this thread in both modes, keeping the stream intact.
   harness_->scheduler_rng()->Shuffle(&source_order_);
+  if (shard_pool_ != nullptr) {
+    SendPhaseSharded(t);
+    return;
+  }
   for (int j : source_order_) {
     SourceAgent& agent = *sources_[j];
     Link* source_link = &network_->source_link(j);
@@ -162,6 +177,48 @@ void CooperativeScheduler::SendPhase(double t) {
                           &network_->first_hop_link(agent.channel_cache_id(k)), k);
     }
   }
+}
+
+void CooperativeScheduler::SendPhaseSharded(double t) {
+  // Compute: each shard owns a contiguous source-id slice. A source's
+  // emission decisions depend only on its own state (queues, trackers,
+  // controllers, its source link) — never on what other sources emitted
+  // this tick — so the partition may ignore the shuffled visiting order.
+  shard_pool_->Run([this, t](int shard) {
+    const auto range = ShardPool::ShardRange(
+        static_cast<int64_t>(sources_.size()), shard, shard_pool_->num_shards());
+    for (int64_t j = range.first; j < range.second; ++j) {
+      SourceAgent& agent = *sources_[j];
+      std::vector<Message>& buffer = send_buffers_[j];
+      Link* source_link = &network_->source_link(static_cast<int>(j));
+      for (int k = 0; k < agent.num_channels(); ++k) {
+        agent.SendRefreshesBuffered(t, source_link, &buffer, k);
+      }
+    }
+  });
+  // Flush: enqueue onto the shared tier-1 edges in the shuffled source
+  // order — the exact order the serial phase enqueues in. Within a source
+  // the buffer holds its channels' messages in emission order.
+  for (int j : source_order_) {
+    std::vector<Message>& buffer = send_buffers_[j];
+    for (Message& message : buffer) {
+      Link& link = network_->first_hop_link(message.cache_id);
+      link.Enqueue(std::move(message));
+    }
+    buffer.clear();
+  }
+}
+
+void CooperativeScheduler::CollectDeliveriesSharded() {
+  shard_pool_->Run([this](int shard) {
+    const auto range = ShardPool::ShardRange(
+        static_cast<int64_t>(caches_.size()), shard, shard_pool_->num_shards());
+    for (int64_t c = range.first; c < range.second; ++c) {
+      if (caches_[c] == nullptr) continue;
+      network_->cache_link(static_cast<int>(c))
+          .CollectDeliverable(&deliver_buffers_[c]);
+    }
+  });
 }
 
 void CooperativeScheduler::RelayPhase(double t) {
@@ -183,7 +240,7 @@ void CooperativeScheduler::RelayPhase(double t) {
 
 void CooperativeScheduler::Tick(double t) {
   const double tick = harness_->config().tick_length;
-  network_->BeginTick(t, tick);
+  network_->BeginTick(t, tick, shard_pool_.get());
 
   // 1. Deliver control messages (feedback) that arrived since last tick;
   //    feedback from cache c adjusts T_{j,c} only. In a tree the relays
@@ -212,15 +269,35 @@ void CooperativeScheduler::Tick(double t) {
   RelayPhase(t);
 
   // 3. Every cache-side link delivers queued refreshes within its budget.
+  //    Sharded mode splits this in two: links pop their deliverable
+  //    messages concurrently, then the messages are applied serially in the
+  //    same cache-major order as the sequential loop — the apply updates
+  //    GroundTruth's global running sums, whose float-accumulation order
+  //    must not change.
   const bool reads = read_path_.enabled();
-  for (int c = 0; c < num_caches(); ++c) {
-    CacheAgent* cache = caches_[c].get();
-    if (cache == nullptr) continue;
-    network_->cache_link(c).DeliverQueued([&](const Message& message) {
-      harness_->DeliverRefresh(message, t);
-      cache->RecordRefresh(message, t);
-      if (reads) read_path_.OnRefreshDelivered(message, t);
-    });
+  if (shard_pool_ != nullptr) {
+    CollectDeliveriesSharded();
+    for (int c = 0; c < num_caches(); ++c) {
+      CacheAgent* cache = caches_[c].get();
+      if (cache == nullptr) continue;
+      std::vector<Message>& collected = deliver_buffers_[c];
+      for (const Message& message : collected) {
+        harness_->DeliverRefresh(message, t);
+        cache->RecordRefresh(message, t);
+        if (reads) read_path_.OnRefreshDelivered(message, t);
+      }
+      collected.clear();
+    }
+  } else {
+    for (int c = 0; c < num_caches(); ++c) {
+      CacheAgent* cache = caches_[c].get();
+      if (cache == nullptr) continue;
+      network_->cache_link(c).DeliverQueued([&](const Message& message) {
+        harness_->DeliverRefresh(message, t);
+        cache->RecordRefresh(message, t);
+        if (reads) read_path_.OnRefreshDelivered(message, t);
+      });
+    }
   }
 
   // 3b. Client reads up to this tick are served from the (just refreshed)

@@ -13,6 +13,7 @@
 #include "priority/priority.h"
 #include "read/read_path.h"
 #include "util/result.h"
+#include "util/shard_pool.h"
 
 namespace besync {
 
@@ -55,6 +56,14 @@ struct CooperativeConfig {
   TopologySpec topology;
   /// Order in which relays drain their stores (tree topologies only).
   RelayForwardPolicy relay_forward = RelayForwardPolicy::kFifo;
+  /// Intra-run worker threads for the sharded tick phases (send-phase
+  /// emission and per-cache delivery collection). 1 (default) runs the
+  /// historical sequential path; N > 1 partitions sources and caches across
+  /// N shards with a per-tick barrier. Results are bitwise identical at any
+  /// value: the sharded phases draw no shared randomness and all
+  /// cross-shard effects are flushed in the sequential order (see
+  /// DESIGN.md, "Hot-path memory layout and intra-run determinism").
+  int run_threads = 1;
 };
 
 /// "Our algorithm": the adaptive threshold-based cooperative refresh
@@ -108,6 +117,21 @@ class CooperativeScheduler : public Scheduler {
   /// interleave source-priority refreshes.
   virtual void SendPhase(double t);
 
+  /// Sharded send phase (run_threads > 1): sources compute their emissions
+  /// concurrently into per-source buffers (every mutated structure —
+  /// channel queues, trackers, threshold controllers, the source link — is
+  /// private to one source), then the buffers are flushed onto the shared
+  /// cache links serially in the shuffled source order. Bitwise identical
+  /// to the serial SendPhase at any shard count.
+  void SendPhaseSharded(double t);
+
+  /// Sharded half of tick step 3: each cache link pops this tick's
+  /// deliverable refreshes concurrently (budget, loss draws and stats are
+  /// per-link state) into per-cache scratch; the caller then applies them
+  /// serially in cache order — GroundTruth keeps global running sums whose
+  /// float-accumulation order the serial apply preserves exactly.
+  void CollectDeliveriesSharded();
+
   /// The relay phase of the tick: each relay (parents first) drains its
   /// ingress edge into its store, then forwards eligible refreshes one hop
   /// toward their leaf under its egress budget. No-op on flat topologies.
@@ -141,6 +165,13 @@ class CooperativeScheduler : public Scheduler {
   /// Client read streams, residency/eviction and pull bookkeeping; inert
   /// (and branch-free on the hot paths) when the workload disables reads.
   ReadPath read_path_;
+  /// Worker team for the sharded tick phases; null when run_threads <= 1
+  /// (every phase then takes its historical sequential path).
+  std::unique_ptr<ShardPool> shard_pool_;
+  /// Per-source emission buffers (sharded send phase), reused across ticks.
+  std::vector<std::vector<Message>> send_buffers_;
+  /// Per-cache collected deliveries (sharded delivery), reused across ticks.
+  std::vector<std::vector<Message>> deliver_buffers_;
 };
 
 /// Scheduler-agnostic summary of one simulation run.

@@ -7,7 +7,7 @@
 namespace besync {
 
 GroundTruth::GroundTruth(const Workload* workload, const DivergenceMetric* metric,
-                         bool use_source_weights)
+                         bool use_source_weights, Arena* arena)
     : workload_(workload), metric_(metric), use_source_weights_(use_source_weights) {
   BESYNC_CHECK(workload != nullptr);
   BESYNC_CHECK(metric != nullptr);
@@ -18,7 +18,13 @@ GroundTruth::GroundTruth(const Workload* workload, const DivergenceMetric* metri
     BESYNC_CHECK_GE(spec.num_replicas(), 1);
     base += static_cast<size_t>(spec.num_replicas());
   }
-  entries_.resize(base);
+  num_entries_ = base;
+  if (arena != nullptr) {
+    entries_ = arena->AllocateArray<Entry>(num_entries_);
+  } else {
+    owned_entries_.resize(num_entries_);
+    entries_ = owned_entries_.data();
+  }
   for (size_t i = 0; i < workload->objects.size(); ++i) {
     const ObjectSpec& spec = workload->objects[i];
     for (int r = 0; r < spec.num_replicas(); ++r) {
@@ -88,7 +94,8 @@ void GroundTruth::SetDivergence(Entry* entry, double divergence) {
 void GroundTruth::RebuildSums() {
   std::fill(weighted_sum_.begin(), weighted_sum_.end(), 0.0);
   std::fill(unweighted_sum_.begin(), unweighted_sum_.end(), 0.0);
-  for (const Entry& entry : entries_) {
+  for (size_t i = 0; i < num_entries_; ++i) {
+    const Entry& entry = entries_[i];
     weighted_sum_[entry.cache_id] += entry.divergence * entry.weight;
     unweighted_sum_[entry.cache_id] += entry.divergence;
   }
@@ -166,16 +173,17 @@ double GroundTruth::PerCacheWeightedAverage(int32_t cache_id) const {
 }
 
 double GroundTruth::PerObjectWeightedAverage() const {
-  return entries_.empty() ? 0.0
-                          : TotalWeightedAverage() / static_cast<double>(entries_.size());
+  return num_entries_ == 0
+             ? 0.0
+             : TotalWeightedAverage() / static_cast<double>(num_entries_);
 }
 
 double GroundTruth::PerObjectUnweightedAverage() const {
   const double duration = measurement_duration();
-  if (duration <= 0.0 || entries_.empty()) return 0.0;
+  if (duration <= 0.0 || num_entries_ == 0) return 0.0;
   double total = 0.0;
   for (double integral : unweighted_integral_) total += integral;
-  return std::max(0.0, total / duration / static_cast<double>(entries_.size()));
+  return std::max(0.0, total / duration / static_cast<double>(num_entries_));
 }
 
 }  // namespace besync

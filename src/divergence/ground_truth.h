@@ -6,6 +6,7 @@
 
 #include "data/workload.h"
 #include "divergence/metric.h"
+#include "util/arena.h"
 
 namespace besync {
 
@@ -30,9 +31,12 @@ class GroundTruth {
   /// `workload` and `metric` must outlive this object. When
   /// `use_source_weights` is set, objects that define a source_weight are
   /// weighted by it instead of the cache weight (competitive experiments,
-  /// Section 7).
+  /// Section 7). When `arena` is non-null the replica entry table lives in
+  /// it (the harness passes its run arena so entries share the flat
+  /// hot-path layout); `arena` must then outlive this object. Null keeps
+  /// self-owned storage — standalone uses need no arena.
   GroundTruth(const Workload* workload, const DivergenceMetric* metric,
-              bool use_source_weights = false);
+              bool use_source_weights = false, Arena* arena = nullptr);
 
   /// Initializes every replica = source state (synchronized) at time `t`.
   void Initialize(double t);
@@ -64,7 +68,7 @@ class GroundTruth {
 
   double measurement_duration() const { return last_time_ - measure_start_; }
   int num_caches() const { return static_cast<int>(weighted_integral_.size()); }
-  int64_t total_replicas() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t total_replicas() const { return static_cast<int64_t>(num_entries_); }
 
   /// Σ over caches and replicas of the time-average of W(t)·D(t) — the
   /// paper's objective, generalized to the multi-cache topology.
@@ -130,8 +134,11 @@ class GroundTruth {
   const DivergenceMetric* metric_;
   bool use_source_weights_;
   /// One entry per (object, cache) replica; an object's replicas are
-  /// contiguous, in the order of its ObjectSpec::caches list.
-  std::vector<Entry> entries_;
+  /// contiguous, in the order of its ObjectSpec::caches list. Points into
+  /// the constructor's arena when one was given, else into owned_entries_.
+  Entry* entries_ = nullptr;
+  size_t num_entries_ = 0;
+  std::vector<Entry> owned_entries_;
   /// First entry of each object's replica range (size = #objects).
   std::vector<size_t> replica_base_;
   // Running sums / integrals, one slot per cache.

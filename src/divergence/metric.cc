@@ -32,7 +32,8 @@ double LagMetric::Divergence(double /*source_value*/, int64_t source_version,
 }
 
 ValueDeviationMetric::ValueDeviationMetric()
-    : delta_([](double v1, double v2) { return std::abs(v1 - v2); }) {}
+    : delta_([](double v1, double v2) { return std::abs(v1 - v2); }),
+      default_delta_(true) {}
 
 ValueDeviationMetric::ValueDeviationMetric(DeltaFn delta) : delta_(std::move(delta)) {
   BESYNC_CHECK(delta_ != nullptr);
@@ -41,7 +42,8 @@ ValueDeviationMetric::ValueDeviationMetric(DeltaFn delta) : delta_(std::move(del
 double ValueDeviationMetric::Divergence(double source_value, int64_t /*source_version*/,
                                         double cached_value,
                                         int64_t /*cached_version*/) const {
-  const double deviation = delta_(source_value, cached_value);
+  const double deviation = default_delta_ ? std::abs(source_value - cached_value)
+                                          : delta_(source_value, cached_value);
   BESYNC_DCHECK(deviation >= 0.0);
   return deviation;
 }

@@ -71,6 +71,10 @@ class ValueDeviationMetric : public DivergenceMetric {
 
  private:
   DeltaFn delta_;
+  /// Default |V1 - V2| delta: computed inline in Divergence instead of
+  /// through the type-erased delta_ (one call per source update and cache
+  /// apply — the engine's hottest float path).
+  bool default_delta_ = false;
 };
 
 /// Factory for the metric kinds used by the experiment harness.

@@ -43,6 +43,7 @@ std::unique_ptr<Scheduler> MakeScheduler(const ExperimentConfig& config) {
       cooperative.loss_rate = config.loss_rate;
       cooperative.topology = config.topology;
       cooperative.relay_forward = config.relay_forward;
+      cooperative.run_threads = config.run_threads;
       return std::make_unique<CooperativeScheduler>(cooperative);
     }
     case SchedulerKind::kIdealCooperative: {

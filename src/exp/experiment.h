@@ -72,6 +72,10 @@ struct ExperimentConfig {
   int max_batch = 1;
   double max_batch_delay = 5.0;
   double loss_rate = 0.0;
+  /// Intra-run worker threads for the cooperative scheduler's sharded tick
+  /// phases (CooperativeConfig::run_threads); results are bitwise identical
+  /// at any value. Ignored by the baseline schedulers (single-threaded).
+  int run_threads = 1;
 
   /// CGM-specific knobs (bandwidth fields are overwritten from above).
   CGMConfig cgm;

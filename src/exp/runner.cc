@@ -168,7 +168,8 @@ std::vector<JobResult> RunExperimentsOnWorkload(const Workload& base_workload,
                 });
 }
 
-void WriteResultsJson(std::ostream& os, const std::vector<JobResult>& results) {
+void WriteResultsJson(std::ostream& os, const std::vector<JobResult>& results,
+                      const std::string& extra_top_level) {
   os << "{\n  \"schema\": \"besync.run_results.v1\",\n  \"results\": [";
   for (size_t i = 0; i < results.size(); ++i) {
     const JobResult& job = results[i];
@@ -224,13 +225,16 @@ void WriteResultsJson(std::ostream& os, const std::vector<JobResult>& results) {
     }
     os << "}";
   }
-  os << (results.empty() ? "]" : "\n  ]") << "\n}\n";
+  os << (results.empty() ? "]" : "\n  ]");
+  if (!extra_top_level.empty()) os << ",\n  " << extra_top_level;
+  os << "\n}\n";
 }
 
-Status WriteResultsJson(const std::string& path, const std::vector<JobResult>& results) {
+Status WriteResultsJson(const std::string& path, const std::vector<JobResult>& results,
+                        const std::string& extra_top_level) {
   std::ofstream file(path);
   if (!file) return Status::IOError("cannot open ", path);
-  WriteResultsJson(file, results);
+  WriteResultsJson(file, results, extra_top_level);
   if (!file.good()) return Status::IOError("write failed for ", path);
   return Status::OK();
 }

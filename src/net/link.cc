@@ -44,10 +44,9 @@ void Link::Enqueue(Message message) {
   max_queue_size_ = std::max(max_queue_size_, queue_.size());
 }
 
-int64_t Link::DeliverQueued(const std::function<void(const Message&)>& sink) {
-  int64_t delivered = 0;
+bool Link::PopDeliverable(Message* out) {
   while (remaining_ > 0 && !queue_.empty()) {
-    const Message message = std::move(queue_.front());
+    Message message = std::move(queue_.front());
     queue_.pop_front();
     const int64_t cost = std::max<int64_t>(message.cost, 1);
     remaining_ -= cost;
@@ -56,9 +55,29 @@ int64_t Link::DeliverQueued(const std::function<void(const Message&)>& sink) {
       ++messages_dropped_;
       continue;  // transmission spent, content lost
     }
-    ++delivered;
     ++messages_delivered_;
+    *out = std::move(message);
+    return true;
+  }
+  return false;
+}
+
+int64_t Link::DeliverQueued(const std::function<void(const Message&)>& sink) {
+  int64_t delivered = 0;
+  Message message;
+  while (PopDeliverable(&message)) {
+    ++delivered;
     sink(message);
+  }
+  return delivered;
+}
+
+int64_t Link::CollectDeliverable(std::vector<Message>* out) {
+  int64_t delivered = 0;
+  Message message;
+  while (PopDeliverable(&message)) {
+    ++delivered;
+    out->push_back(std::move(message));
   }
   return delivered;
 }

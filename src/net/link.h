@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/bandwidth.h"
 #include "net/message.h"
@@ -50,6 +51,13 @@ class Link {
   /// cost is still spent — the transmission happened, the content was
   /// lost).
   int64_t DeliverQueued(const std::function<void(const Message&)>& sink);
+
+  /// Exactly DeliverQueued, but the delivered messages are appended to
+  /// `out` instead of being sunk inline — the collect half of the sharded
+  /// two-phase delivery (budget, loss draws and statistics are all
+  /// per-link state, so collection parallelizes across links; the caller
+  /// applies the collected messages serially in the canonical order).
+  int64_t CollectDeliverable(std::vector<Message>* out);
 
   /// Attempts to consume `amount` units of remaining budget; returns the
   /// number of units actually granted (possibly fewer).
@@ -96,6 +104,11 @@ class Link {
   void ResetStats();
 
  private:
+  /// Pops the next message DeliverQueued would deliver (charging budget,
+  /// drawing loss, updating delivery stats); false when budget or queue is
+  /// exhausted.
+  bool PopDeliverable(Message* out);
+
   std::string name_;
   std::unique_ptr<BandwidthModel> bandwidth_;
   std::deque<Message> queue_;

@@ -123,6 +123,13 @@ Network::Network(const NetworkConfig& config, Rng* rng) : config_(config) {
       static_cast<size_t>(num_nodes()) * static_cast<size_t>(config.num_sources);
   mail_incoming_.resize(slots);
   mail_deliverable_.resize(slots);
+
+  all_links_.reserve(cache_links_.size() + source_links_.size() +
+                     relay_links_.size() + relay_egress_.size());
+  for (auto& link : cache_links_) all_links_.push_back(link.get());
+  for (auto& link : source_links_) all_links_.push_back(link.get());
+  for (auto& link : relay_links_) all_links_.push_back(link.get());
+  for (auto& link : relay_egress_) all_links_.push_back(link.get());
 }
 
 size_t Network::MailSlot(int node, int source_index) const {
@@ -134,17 +141,28 @@ size_t Network::MailSlot(int node, int source_index) const {
          static_cast<size_t>(source_index);
 }
 
-void Network::BeginTick(double tick_start, double tick_len) {
-  for (auto& link : cache_links_) link->BeginTick(tick_start, tick_len);
-  for (auto& link : source_links_) link->BeginTick(tick_start, tick_len);
-  for (auto& link : relay_links_) link->BeginTick(tick_start, tick_len);
-  for (auto& link : relay_egress_) link->BeginTick(tick_start, tick_len);
-  for (size_t slot = 0; slot < mail_incoming_.size(); ++slot) {
+void Network::BeginTick(double tick_start, double tick_len, ShardPool* pool) {
+  if (pool != nullptr && pool->num_shards() > 1) {
+    // Each link's tick state (budget, credit, stats) is self-contained, so
+    // advancing disjoint slices in parallel is bitwise identical to the
+    // sequential loop.
+    pool->Run([this, tick_start, tick_len, pool](int shard) {
+      const auto range = ShardPool::ShardRange(
+          static_cast<int64_t>(all_links_.size()), shard, pool->num_shards());
+      for (int64_t i = range.first; i < range.second; ++i) {
+        all_links_[i]->BeginTick(tick_start, tick_len);
+      }
+    });
+  } else {
+    for (Link* link : all_links_) link->BeginTick(tick_start, tick_len);
+  }
+  for (size_t slot : dirty_incoming_) {
     for (auto& message : mail_incoming_[slot]) {
       mail_deliverable_[slot].push_back(std::move(message));
     }
     mail_incoming_[slot].clear();
   }
+  dirty_incoming_.clear();
 }
 
 Link& Network::cache_link(int cache_id) {
@@ -201,7 +219,9 @@ int32_t Network::NextHop(int node, int cache_id) const {
 void Network::SendToSource(int cache_id, int source_index, Message message) {
   BESYNC_CHECK_LT(cache_id, num_caches());
   message.cache_id = cache_id;
-  mail_incoming_[MailSlot(cache_id, source_index)].push_back(std::move(message));
+  const size_t slot = MailSlot(cache_id, source_index);
+  if (mail_incoming_[slot].empty()) dirty_incoming_.push_back(slot);
+  mail_incoming_[slot].push_back(std::move(message));
 }
 
 void Network::SendToSource(int source_index, Message message) {

@@ -1,6 +1,7 @@
 #ifndef BESYNC_PRIORITY_PRIORITY_QUEUE_H_
 #define BESYNC_PRIORITY_PRIORITY_QUEUE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -22,38 +23,92 @@ struct QueueEntry {
   uint64_t epoch = 0;
 };
 
-/// Resolves an object's current epoch (for staleness checks).
+/// Resolves an object's current epoch (for staleness checks). The heap
+/// methods are templated on the resolver so hot callers can pass a plain
+/// struct functor (inlined epoch lookups); this alias remains for callers
+/// where a type-erased resolver is convenient.
 using EpochFn = std::function<uint64_t(ObjectIndex)>;
+
+namespace heap_internal {
+// Struct comparators so std::push_heap/pop_heap inline the comparison (a
+// free function decays to a function pointer, costing an indirect call per
+// comparison on the hottest path in the engine).
+struct KeyLess {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    return a.key < b.key;
+  }
+};
+struct KeyGreater {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    return a.key > b.key;
+  }
+};
+}  // namespace heap_internal
 
 /// Max-heap on QueueEntry::key with lazy invalidation.
 class LazyMaxHeap {
  public:
-  void Push(double key, ObjectIndex index, uint64_t epoch);
+  void Push(double key, ObjectIndex index, uint64_t epoch) {
+    entries_.push_back(QueueEntry{key, index, epoch});
+    std::push_heap(entries_.begin(), entries_.end(), heap_internal::KeyLess{});
+  }
 
   /// Discards stale entries, then removes and returns the top valid entry.
   /// Returns false if no valid entry remains.
-  bool PopValid(const EpochFn& current_epoch, QueueEntry* out);
+  template <typename Epoch>
+  bool PopValid(const Epoch& current_epoch, QueueEntry* out) {
+    DiscardStaleTop(current_epoch);
+    if (entries_.empty()) return false;
+    std::pop_heap(entries_.begin(), entries_.end(), heap_internal::KeyLess{});
+    *out = entries_.back();
+    entries_.pop_back();
+    return true;
+  }
 
   /// Discards stale entries, then peeks the top valid entry without
   /// removing it. Returns false if no valid entry remains.
-  bool PeekValid(const EpochFn& current_epoch, QueueEntry* out);
+  template <typename Epoch>
+  bool PeekValid(const Epoch& current_epoch, QueueEntry* out) {
+    DiscardStaleTop(current_epoch);
+    if (entries_.empty()) return false;
+    *out = entries_.front();
+    return true;
+  }
 
   /// Re-inserts an entry previously obtained from PopValid.
-  void Restore(const QueueEntry& entry);
+  void Restore(const QueueEntry& entry) {
+    entries_.push_back(entry);
+    std::push_heap(entries_.begin(), entries_.end(), heap_internal::KeyLess{});
+  }
 
   /// Drops every stale entry and re-heapifies. Since a fresh entry is pushed
   /// on each object update, callers invoke this periodically (e.g. when the
   /// heap exceeds a small multiple of the live object count) to keep memory
   /// proportional to the number of objects rather than the number of
   /// updates.
-  void Compact(const EpochFn& current_epoch);
+  template <typename Epoch>
+  void Compact(const Epoch& current_epoch) {
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [&current_epoch](const QueueEntry& entry) {
+                                    return entry.epoch != current_epoch(entry.index);
+                                  }),
+                   entries_.end());
+    std::make_heap(entries_.begin(), entries_.end(), heap_internal::KeyLess{});
+  }
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
   void Clear() { entries_.clear(); }
 
  private:
-  void DiscardStaleTop(const EpochFn& current_epoch);
+  template <typename Epoch>
+  void DiscardStaleTop(const Epoch& current_epoch) {
+    while (!entries_.empty() &&
+           entries_.front().epoch != current_epoch(entries_.front().index)) {
+      std::pop_heap(entries_.begin(), entries_.end(), heap_internal::KeyLess{});
+      entries_.pop_back();
+    }
+  }
 
   std::vector<QueueEntry> entries_;
 };
@@ -63,11 +118,30 @@ class LazyMaxHeap {
 /// wake objects when their priority is expected to cross the threshold.
 class TimeMinHeap {
  public:
-  void Push(double time, ObjectIndex index, uint64_t epoch);
+  void Push(double time, ObjectIndex index, uint64_t epoch) {
+    entries_.push_back(QueueEntry{time, index, epoch});
+    std::push_heap(entries_.begin(), entries_.end(), heap_internal::KeyGreater{});
+  }
 
   /// Pops the earliest valid entry whose time is <= `now`; returns false if
   /// none is due.
-  bool PopDue(double now, const EpochFn& current_epoch, QueueEntry* out);
+  template <typename Epoch>
+  bool PopDue(double now, const Epoch& current_epoch, QueueEntry* out) {
+    while (!entries_.empty()) {
+      const QueueEntry& top = entries_.front();
+      if (top.epoch != current_epoch(top.index)) {
+        std::pop_heap(entries_.begin(), entries_.end(), heap_internal::KeyGreater{});
+        entries_.pop_back();
+        continue;
+      }
+      if (top.key > now) return false;  // earliest valid entry not due yet
+      std::pop_heap(entries_.begin(), entries_.end(), heap_internal::KeyGreater{});
+      *out = entries_.back();
+      entries_.pop_back();
+      return true;
+    }
+    return false;
+  }
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }

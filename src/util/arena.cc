@@ -1,0 +1,60 @@
+#include "util/arena.h"
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace besync {
+
+Arena::Arena(size_t block_bytes) : block_bytes_(block_bytes) {
+  BESYNC_CHECK(block_bytes_ > 0) << "arena block size must be positive";
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  BESYNC_CHECK(alignment > 0 && (alignment & (alignment - 1)) == 0)
+      << "alignment must be a power of two, got " << alignment;
+  if (bytes == 0) bytes = 1;  // distinct non-null pointers for empty arrays
+  uintptr_t aligned = (reinterpret_cast<uintptr_t>(ptr_) + alignment - 1) &
+                      ~static_cast<uintptr_t>(alignment - 1);
+  if (ptr_ == nullptr || aligned + bytes > reinterpret_cast<uintptr_t>(end_)) {
+    // A fresh block is max_align-aligned, so only the request's own
+    // alignment (<= max_align for every type the arena serves) matters.
+    NextBlock(bytes + alignment - 1);
+    aligned = (reinterpret_cast<uintptr_t>(ptr_) + alignment - 1) &
+              ~static_cast<uintptr_t>(alignment - 1);
+  }
+  ptr_ = reinterpret_cast<char*>(aligned + bytes);
+  bytes_used_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::NextBlock(size_t bytes) {
+  // Reuse retained blocks (post-Reset) before growing. `active_` stays the
+  // index of the block in use; blocks_ is never reordered.
+  const size_t start = ptr_ == nullptr ? 0 : active_ + 1;
+  for (size_t i = start; i < blocks_.size(); ++i) {
+    if (blocks_[i].size >= bytes) {
+      active_ = i;
+      ptr_ = blocks_[i].data.get();
+      end_ = ptr_ + blocks_[i].size;
+      return;
+    }
+  }
+  Block block;
+  block.size = bytes > block_bytes_ ? bytes : block_bytes_;
+  block.data = std::make_unique<char[]>(block.size);
+  bytes_reserved_ += block.size;
+  blocks_.push_back(std::move(block));
+  active_ = blocks_.size() - 1;
+  ptr_ = blocks_.back().data.get();
+  end_ = ptr_ + blocks_.back().size;
+}
+
+void Arena::Reset() {
+  active_ = 0;
+  ptr_ = nullptr;
+  end_ = nullptr;
+  bytes_used_ = 0;
+}
+
+}  // namespace besync

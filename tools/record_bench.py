@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
-"""Records the bench trajectory baseline (BENCH_readpath.json).
+"""Records the bench trajectory baselines (BENCH_readpath.json,
+BENCH_scale.json).
 
-Runs bench_readpath and bench_multicache from a build directory with
+Runs the benches of each baseline profile from a build directory with
 --json, validates each output against the besync.run_results.v1 schema,
 and writes the combined, schema-stamped baseline at the repo root. The
-bench JSON deliberately excludes timings (exp/runner.h), so the baseline
+bench JSON deliberately excludes timings (exp/runner.h; bench_scale's
+"perf" member is strictly opt-in and never recorded), so each baseline
 is a deterministic function of the bench configs — reruns on an unchanged
 tree produce identical bytes, and any diff in a PR is a real behavioral
 change in the recorded grids.
 
 Usage:
-  tools/record_bench.py [--build-dir build] [--out BENCH_readpath.json]
-  tools/record_bench.py --check   # validate the committed baseline only
+  tools/record_bench.py [--build-dir build]          # record all baselines
+  tools/record_bench.py --out BENCH_scale.json       # record one baseline
+  tools/record_bench.py --check   # validate the committed baselines only
 """
 
 import argparse
@@ -24,13 +27,19 @@ import tempfile
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RUN_RESULTS_SCHEMA = "besync.run_results.v1"
 BASELINE_SCHEMA = "besync.bench_baseline.v1"
-DEFAULT_OUT = "BENCH_readpath.json"
 
-# One entry per recorded bench: (binary, extra args). Default scales keep
-# the whole recording under a minute on one core.
-BENCHES = {
-    "bench_readpath": [],
-    "bench_multicache": [],
+# One entry per committed baseline file: {bench binary: extra args}.
+# Default scales keep each recording under a minute on one core —
+# BENCH_scale.json records the bench_scale default (small) grid, not the
+# --full 1M-object trajectory.
+PROFILES = {
+    "BENCH_readpath.json": {
+        "bench_readpath": [],
+        "bench_multicache": [],
+    },
+    "BENCH_scale.json": {
+        "bench_scale": [],
+    },
 }
 
 # Fields every run_results row must carry (exp/runner.h).
@@ -77,21 +86,32 @@ def validate_run_results(doc, context):
                  f"{sorted(extra_read)}")
 
 
-def validate_baseline(doc, context):
+def validate_baseline(doc, context, profile):
     if doc.get("schema") != BASELINE_SCHEMA:
         fail(f"{context}: schema is {doc.get('schema')!r}, "
              f"expected {BASELINE_SCHEMA!r}")
     benches = doc.get("benches")
     if not isinstance(benches, dict) or not benches:
         fail(f"{context}: empty or missing benches object")
+    missing = PROFILES[profile].keys() - benches.keys()
+    if missing:
+        fail(f"{context}: missing bench entries {sorted(missing)}")
     for name, results_doc in benches.items():
         validate_run_results(results_doc, f"{context}: bench {name!r}")
-    # bench_readpath is the point of this baseline: require its read rows.
-    readpath = benches.get("bench_readpath")
-    if readpath is None:
-        fail(f"{context}: missing bench_readpath entry")
-    if not any("hit_rate" in row for row in readpath["results"]):
-        fail(f"{context}: bench_readpath recorded no read-enabled rows")
+    if profile == "BENCH_readpath.json":
+        # bench_readpath is the point of this baseline: require read rows.
+        readpath = benches["bench_readpath"]
+        if not any("hit_rate" in row for row in readpath["results"]):
+            fail(f"{context}: bench_readpath recorded no read-enabled rows")
+    if profile == "BENCH_scale.json":
+        # The recorded grid must stay a trajectory, not a single point, and
+        # must never carry the nondeterministic perf member.
+        scale = benches["bench_scale"]
+        if len(scale["results"]) < 2:
+            fail(f"{context}: bench_scale recorded fewer than 2 points")
+        if "perf" in scale:
+            fail(f"{context}: bench_scale recorded a perf member — "
+                 f"baselines must be timing-free (drop --perf)")
 
 
 def run_bench(build_dir, name, extra_args):
@@ -119,42 +139,45 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build",
                         help="build directory holding the bench binaries")
-    parser.add_argument("--out", default=DEFAULT_OUT,
-                        help="baseline path, relative to the repo root")
+    parser.add_argument("--out", default=None, choices=sorted(PROFILES),
+                        help="record only this baseline (default: all)")
     parser.add_argument("--check", action="store_true",
-                        help="validate the committed baseline and exit "
+                        help="validate the committed baselines and exit "
                              "(no benches are run)")
     args = parser.parse_args()
 
-    out_path = os.path.join(REPO_ROOT, args.out)
+    profiles = [args.out] if args.out else sorted(PROFILES)
     if args.check:
-        if not os.path.exists(out_path):
-            fail(f"{out_path} does not exist; run tools/record_bench.py to "
-                 f"record it")
-        with open(out_path) as f:
-            try:
-                doc = json.load(f)
-            except json.JSONDecodeError as error:
-                fail(f"{out_path} is not valid JSON: {error}")
-        validate_baseline(doc, args.out)
-        print(f"record_bench: {args.out} OK "
-              f"({sum(len(b['results']) for b in doc['benches'].values())} "
-              f"recorded rows)")
+        for profile in profiles:
+            out_path = os.path.join(REPO_ROOT, profile)
+            if not os.path.exists(out_path):
+                fail(f"{out_path} does not exist; run tools/record_bench.py "
+                     f"to record it")
+            with open(out_path) as f:
+                try:
+                    doc = json.load(f)
+                except json.JSONDecodeError as error:
+                    fail(f"{out_path} is not valid JSON: {error}")
+            validate_baseline(doc, profile, profile)
+            print(f"record_bench: {profile} OK "
+                  f"({sum(len(b['results']) for b in doc['benches'].values())} "
+                  f"recorded rows)")
         return
 
     build_dir = args.build_dir if os.path.isabs(args.build_dir) \
         else os.path.join(REPO_ROOT, args.build_dir)
-    baseline = {
-        "schema": BASELINE_SCHEMA,
-        "benches": {name: run_bench(build_dir, name, extra)
-                    for name, extra in sorted(BENCHES.items())},
-    }
-    validate_baseline(baseline, "recorded baseline")
-    # Sorted keys + fixed separators: the bytes depend only on the results.
-    with open(out_path, "w") as f:
-        json.dump(baseline, f, indent=1, sort_keys=True)
-        f.write("\n")
-    print(f"record_bench: wrote {args.out}")
+    for profile in profiles:
+        baseline = {
+            "schema": BASELINE_SCHEMA,
+            "benches": {name: run_bench(build_dir, name, extra)
+                        for name, extra in sorted(PROFILES[profile].items())},
+        }
+        validate_baseline(baseline, "recorded baseline", profile)
+        # Sorted keys + fixed separators: the bytes depend only on results.
+        with open(os.path.join(REPO_ROOT, profile), "w") as f:
+            json.dump(baseline, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"record_bench: wrote {profile}")
 
 
 if __name__ == "__main__":
