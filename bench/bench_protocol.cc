@@ -1,0 +1,174 @@
+// bench_protocol: the consistency-protocol crossover — push refresh vs
+// invalidation vs TTL/lease, head-to-head across operating regimes.
+//
+// Runs the cooperative engine on one partitioned multi-cache workload while
+// sweeping the regime axes (exp/protocol_sweep.h): client read rate x
+// per-cache bandwidth x relay depth, with all three protocols at every
+// regime. Push refresh spends source messages keeping replicas fresh
+// whether or not anyone reads them; invalidation spends tiny notifications
+// and lets read misses pull data back in; TTL/lease spends nothing at the
+// source and lets leases expire. The interesting output is the crossover
+// table: which protocol wins total divergence and which wins read-time
+// staleness p95 in each regime — push refresh should dominate divergence
+// when reads are rare (nothing else refills unread replicas), invalidation
+// should win read staleness when reads are frequent and bandwidth tight.
+//
+// Defaults finish in seconds; --full runs a larger shape. Like the other
+// runner benches, --threads=N parallelizes the grid and --json output is
+// byte-identical at any thread count (tools/record_bench.py records it as
+// the BENCH_protocol.json trajectory baseline).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/protocol_sweep.h"
+
+namespace besync {
+namespace {
+
+/// Parses one protocol name (`push-refresh`, `invalidation`, `ttl-lease`),
+/// exiting with a usage error naming `flag` on anything else.
+SyncProtocolKind ParseProtocolKind(const std::string& flag, const std::string& name) {
+  static const SyncProtocolKind kinds[] = {SyncProtocolKind::kPushRefresh,
+                                           SyncProtocolKind::kInvalidation,
+                                           SyncProtocolKind::kTtlLease};
+  for (SyncProtocolKind kind : kinds) {
+    if (SyncProtocolKindToString(kind) == name) return kind;
+  }
+  std::fprintf(stderr,
+               "--%s: unknown protocol '%s' (push-refresh, invalidation, ttl-lease)\n",
+               flag.c_str(), name.c_str());
+  std::exit(2);
+}
+
+int Run(const BenchOptions& options) {
+  ProtocolSweepConfig config;
+  config.base.scheduler = SchedulerKind::kCooperative;
+  config.base.metric = MetricKind::kValueDeviation;
+  config.base.workload.num_sources =
+      static_cast<int>(options.flags.GetInt("sources", options.full ? 16 : 8));
+  config.base.workload.objects_per_source =
+      static_cast<int>(options.flags.GetInt("objects", options.full ? 25 : 10));
+  const int num_caches =
+      static_cast<int>(options.flags.GetInt("caches", options.full ? 4 : 2));
+  config.base.workload.num_caches = num_caches;
+  config.base.workload.interest_pattern =
+      num_caches == 1 ? InterestPattern::kSingleCache
+                      : InterestPattern::kPartitionedBySource;
+  config.base.workload.rate_lo = 0.0;
+  config.base.workload.rate_hi = 1.0;
+  config.base.workload.seed = options.seed;
+  config.base.workload.read.zipf_exponent = options.flags.GetDouble("zipf", 0.8);
+  // Constrain relay edges to their subtree's aggregate demand so relay
+  // depth is a real regime axis, not a pass-through label.
+  config.base.workload.relay_bandwidth_factor =
+      options.flags.GetDouble("relay_factor", 1.0);
+  config.base.harness.warmup = options.flags.GetDouble("warmup", 100.0);
+  config.base.harness.measure =
+      options.flags.GetDouble("measure", options.full ? 3000.0 : 600.0);
+  // A finite source uplink is what makes the crossover interesting: push
+  // refresh competes for it update by update, while invalidation notifies
+  // many objects per unit (batching) and refills on demand-priority pulls.
+  config.base.source_bandwidth_avg = options.flags.GetDouble("source_bw", 1.0);
+  config.base.loss_rate = options.flags.GetDouble("loss", 0.0);
+  config.base.run_threads =
+      static_cast<int>(options.flags.GetInt("run_threads", 1));
+  config.ttl = options.flags.GetDouble("ttl", 50.0);
+  config.invalidate_batch =
+      static_cast<int>(options.flags.GetInt("invalidate_batch", 4));
+  config.threads = options.threads;
+
+  if (options.flags.Has("read_rates")) {
+    config.read_rates =
+        ParseDoubleList("read_rates", options.flags.GetString("read_rates", ""));
+  }
+  if (options.flags.Has("bandwidths")) {
+    config.bandwidths =
+        ParseDoubleList("bandwidths", options.flags.GetString("bandwidths", ""));
+  }
+  if (options.flags.Has("tiers")) {
+    config.relay_tiers = ParseIntList("tiers", options.flags.GetString("tiers", ""));
+  } else {
+    config.relay_tiers = {0, 2};
+  }
+  if (options.flags.Has("protocols")) {
+    config.protocols.clear();
+    for (const std::string& name :
+         SplitList(options.flags.GetString("protocols", ""))) {
+      config.protocols.push_back(ParseProtocolKind("protocols", name));
+    }
+  }
+
+  std::vector<JobResult> raw;
+  const auto points = RunProtocolSweep(config, &raw);
+  if (!points.ok()) {
+    std::fprintf(stderr, "protocol sweep failed: %s\n",
+                 points.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"rate", "B_C", "tiers", "protocol", "total_div",
+                      "stale_p95", "hit_rate", "refreshes", "invals", "pulls",
+                      "wall_ms"});
+  for (const ProtocolSweepPoint& point : *points) {
+    const SchedulerStats& s = point.result.scheduler;
+    table.AddRow({TablePrinter::Cell(point.read_rate),
+                  TablePrinter::Cell(point.bandwidth),
+                  TablePrinter::Cell(point.relay_tiers),
+                  SyncProtocolKindToString(point.protocol),
+                  TablePrinter::Cell(point.result.total_weighted_divergence),
+                  TablePrinter::Cell(s.read_staleness_p95),
+                  TablePrinter::Cell(point.hit_rate()),
+                  TablePrinter::Cell(s.refreshes_delivered),
+                  TablePrinter::Cell(s.invalidations_received),
+                  TablePrinter::Cell(s.pulls_delivered),
+                  TablePrinter::Cell(point.wall_seconds * 1e3)});
+  }
+  EmitTable(table, options);
+
+  // Crossover summary: protocols are innermost in the sweep order, so each
+  // regime is one consecutive block of |protocols| points.
+  const size_t stride = config.protocols.size();
+  TablePrinter crossover(
+      {"rate", "B_C", "tiers", "div_winner", "stale_p95_winner"});
+  for (size_t base = 0; base + stride <= points->size(); base += stride) {
+    size_t best_div = base;
+    size_t best_stale = base;
+    for (size_t k = base + 1; k < base + stride; ++k) {
+      const ProtocolSweepPoint& point = (*points)[k];
+      if (point.result.total_weighted_divergence <
+          (*points)[best_div].result.total_weighted_divergence) {
+        best_div = k;
+      }
+      if (point.result.scheduler.read_staleness_p95 <
+          (*points)[best_stale].result.scheduler.read_staleness_p95) {
+        best_stale = k;
+      }
+    }
+    const ProtocolSweepPoint& regime = (*points)[base];
+    crossover.AddRow({TablePrinter::Cell(regime.read_rate),
+                      TablePrinter::Cell(regime.bandwidth),
+                      TablePrinter::Cell(regime.relay_tiers),
+                      SyncProtocolKindToString((*points)[best_div].protocol),
+                      SyncProtocolKindToString((*points)[best_stale].protocol)});
+  }
+  std::printf("\ncrossover (winner per regime):\n");
+  crossover.Print(std::cout);
+
+  EmitJson(raw, options);
+  CheckJobsOk(raw);
+  return 0;
+}
+
+}  // namespace
+}  // namespace besync
+
+int main(int argc, char** argv) {
+  return besync::Run(besync::BenchOptions::Parse(
+      argc, argv,
+      {"sources", "objects", "caches", "bandwidths", "read_rates", "protocols",
+       "ttl", "invalidate_batch", "tiers", "relay_factor", "warmup", "measure",
+       "loss", "zipf", "source_bw", "run_threads"}));
+}

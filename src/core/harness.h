@@ -109,6 +109,12 @@ struct SchedulerStats {
   int64_t push_units_delivered = 0;
   /// pull_units_delivered / (pull + push units); 0 when nothing delivered.
   double pull_bandwidth_share = 0.0;
+  /// Consistency-protocol stats (zero under push refresh — the default).
+  /// kInvalidate messages emitted by sources and replica invalidations
+  /// applied at caches (a batched message of k objects counts once here
+  /// and k times there; lossy links make received < applied-for).
+  int64_t invalidations_sent = 0;
+  int64_t invalidations_received = 0;
 };
 
 /// Scheduler interface: a refresh-scheduling strategy driven by the Harness.

@@ -36,6 +36,11 @@ void SourceAgent::SetFeedbackPeriods(std::vector<double> periods_by_cache) {
   feedback_periods_by_cache_ = std::move(periods_by_cache);
 }
 
+void SourceAgent::SetSyncProtocol(const SyncProtocol* protocol) {
+  BESYNC_CHECK(channels_.empty()) << "SetSyncProtocol must precede Start";
+  protocol_ = protocol;
+}
+
 void SourceAgent::BuildChannels() {
   channels_.clear();
   // Distinct cache ids across this source's objects, ascending. Per-object
@@ -79,6 +84,10 @@ void SourceAgent::BuildChannels() {
     std::copy(channel_replicas.begin(), channel_replicas.end(),
               channel.replica_slots);
     channel.locals = arena->AllocateArray<LocalState>(channel_members.size());
+    if (protocol_ != nullptr && protocol_->emits_invalidations()) {
+      channel.invalid_state =
+          arena->AllocateArray<uint8_t>(channel_members.size(), uint8_t{kReplicaFresh});
+    }
     channels_.push_back(std::move(channel));
   }
 }
@@ -169,6 +178,10 @@ void SourceAgent::Start(Simulation* sim, double tick_length) {
   sim_ = sim;
   tick_length_ = tick_length;
   BuildChannels();
+  // Invalidation / TTL sources never consult the push priority machinery:
+  // skipping the wake-up seeding and sampling schedules keeps those runs
+  // free of the events (and RNG draws) that only feed threshold pushes.
+  if (!push_protocol()) return;
   if (policy_->time_varying()) {
     for (Channel& channel : channels_) {
       for (int32_t s = 0; s < channel.num_members; ++s) {
@@ -195,6 +208,21 @@ void SourceAgent::Start(Simulation* sim, double tick_length) {
 }
 
 void SourceAgent::OnObjectUpdate(ObjectIndex index, double t) {
+  if (!push_protocol()) {
+    // TTL: updates are silent — replicas age out on their own. Invalidation:
+    // queue one notification per replica per staleness episode; a replica
+    // already queued or notified costs nothing until a pull refills it.
+    if (protocol_->emits_invalidations()) {
+      for (Channel& channel : channels_) {
+        const int32_t slot = channel.slot_of[index - first_member_];
+        if (slot < 0) continue;
+        if (channel.invalid_state[slot] != kReplicaFresh) continue;
+        channel.invalid_state[slot] = kInvalidateQueued;
+        channel.invalidate_queue.push_back(slot);
+      }
+    }
+    return;
+  }
   if (config_.monitor == MonitorMode::kSampling) return;  // source is blind
   for (Channel& channel : channels_) {
     const int32_t slot = channel.slot_of[index - first_member_];
@@ -355,11 +383,18 @@ Message SourceAgent::ServePull(ObjectIndex index, int32_t cache_id, double now) 
   // The replica is fresh now; invalidate any queued push entry so the next
   // send phase does not re-send the value the pull just delivered.
   ++state.epoch;
+  // Under the invalidation protocol the pull also closes the staleness
+  // episode: the source's replica model returns to fresh, so the next
+  // update queues a new notification, and any notification still queued
+  // for this slot dies lazily at send time.
+  if (channel->invalid_state != nullptr) {
+    channel->invalid_state[slot] = kReplicaFresh;
+  }
   // Time-varying policies are driven by wake-ups, and the bump above just
   // killed this object's armed entry; re-arm from the new t_last exactly
   // like an emitted push, or the object would never be pushed again (for
   // non-update-sensitive policies updates do not re-arm).
-  if (policy_->time_varying()) {
+  if (push_protocol() && policy_->time_varying()) {
     PushWake(channel, index, now);
   }
   return message;
@@ -426,6 +461,75 @@ int64_t SourceAgent::SendRefreshesToSink(double now, Link* source_link,
     return SendRefreshesTimeVarying(channel, now, source_link, sink);
   }
   return SendRefreshesEventKeyed(channel, now, source_link, sink);
+}
+
+int64_t SourceAgent::SendInvalidations(double now, Link* source_link,
+                                       Link* cache_link, int channel_index) {
+  return SendInvalidationsToSink(now, source_link, EmitSink{cache_link, nullptr},
+                                 channel_index);
+}
+
+int64_t SourceAgent::SendInvalidationsBuffered(double now, Link* source_link,
+                                               std::vector<Message>* out,
+                                               int channel_index) {
+  return SendInvalidationsToSink(now, source_link, EmitSink{nullptr, out},
+                                 channel_index);
+}
+
+int64_t SourceAgent::SendInvalidationsToSink(double now, Link* source_link,
+                                             const EmitSink& sink,
+                                             int channel_index) {
+  BESYNC_DCHECK(channel_index >= 0 && channel_index < num_channels());
+  BESYNC_CHECK(protocol_ != nullptr && protocol_->emits_invalidations());
+  Channel* channel = &channels_[channel_index];
+  // Same tick-opening contract as SendRefreshesToSink: channel 0 clears the
+  // shared full-capacity flag, the remaining channels accumulate into it.
+  if (channel_index == 0) at_full_capacity_ = false;
+  const int64_t cost = protocol_->config().invalidate_cost;
+  const int max_batch = protocol_->config().max_invalidate_batch;
+  int64_t messages = 0;
+  while (true) {
+    // Lazy tombstones first: entries whose state left kInvalidateQueued (a
+    // pull refilled the replica) are dropped before any budget is spent.
+    std::deque<int32_t>& queue = channel->invalidate_queue;
+    while (!queue.empty() &&
+           channel->invalid_state[queue.front()] != kInvalidateQueued) {
+      queue.pop_front();
+    }
+    if (queue.empty()) break;
+    if (!source_link->TryConsumeAllowingDeficit(cost)) {
+      at_full_capacity_ = true;
+      break;
+    }
+    Message message;
+    message.kind = MessageKind::kInvalidate;
+    message.source_index = index_;
+    message.cache_id = channel->cache_id;
+    message.send_time = now;
+    message.cost = cost;
+    // Notifications are tiny control traffic: priority-preserving relays
+    // move them ahead of queued pushes, like pull responses.
+    message.forward_priority = std::numeric_limits<double>::infinity();
+    int packed = 0;
+    while (packed < max_batch && !queue.empty()) {
+      const int32_t slot = queue.front();
+      queue.pop_front();
+      if (channel->invalid_state[slot] != kInvalidateQueued) continue;
+      channel->invalid_state[slot] = kInvalidateSent;
+      const ObjectIndex object = channel->members[slot];
+      if (packed == 0) {
+        message.object_index = object;
+      } else {
+        message.extra_refreshes.push_back(RefreshPayload{object, 0.0, 0});
+      }
+      ++packed;
+      ++invalidations_sent_;
+    }
+    channel->last_emit_time = now;
+    sink.Deliver(std::move(message));
+    ++messages;
+  }
+  return messages;
 }
 
 int64_t SourceAgent::SendRefreshesEventKeyed(Channel* channel, double now,

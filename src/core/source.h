@@ -2,6 +2,7 @@
 #define BESYNC_CORE_SOURCE_H_
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "core/harness.h"
@@ -12,6 +13,7 @@
 #include "priority/priority_queue.h"
 #include "priority/sampling.h"
 #include "priority/special_case.h"
+#include "protocol/sync_protocol.h"
 
 namespace besync {
 
@@ -80,6 +82,7 @@ class SourceAgent {
   ThresholdController& controller(int k = 0) { return channels_[k].controller; }
   bool at_full_capacity() const { return at_full_capacity_; }
   int64_t refreshes_sent() const { return refreshes_sent_; }
+  int64_t invalidations_sent() const { return invalidations_sent_; }
   double granted_rate() const { return granted_rate_; }
   size_t num_objects() const { return members_.size(); }
   /// Entries (live + lazily-invalidated stale) in channel `k`'s priority
@@ -100,6 +103,11 @@ class SourceAgent {
   /// of sources interested in cache c divided by B_c). Call before Start();
   /// caches beyond the vector fall back to the constructor scalar.
   void SetFeedbackPeriods(std::vector<double> periods_by_cache);
+
+  /// Selects the consistency protocol driving this source's emissions. Must
+  /// be called before Start() (channel state depends on it); null (the
+  /// default) behaves as push refresh. The protocol must outlive the agent.
+  void SetSyncProtocol(const SyncProtocol* protocol);
 
   /// Run-start hook: builds the per-cache channels from the workload's
   /// interest map and seeds the monitoring machinery (initial wake-ups for
@@ -131,6 +139,17 @@ class SourceAgent {
   int64_t SendRefreshesBuffered(double now, Link* source_link,
                                 std::vector<Message>* out, int channel = 0);
 
+  /// Invalidation-protocol send phase for channel `channel`: drains the
+  /// channel's pending-invalidation queue into kInvalidate messages (up to
+  /// max_invalidate_batch replica notifications per message) while the
+  /// shared source-side budget allows. Mirrors SendRefreshes' channel-0
+  /// tick-opening contract and the buffered/direct sink split. Returns the
+  /// number of messages emitted. Requires an invalidation protocol.
+  int64_t SendInvalidations(double now, Link* source_link, Link* cache_link,
+                            int channel = 0);
+  int64_t SendInvalidationsBuffered(double now, Link* source_link,
+                                    std::vector<Message>* out, int channel = 0);
+
   /// Enables the secondary, source-objective priority queues used by the
   /// competitive protocol (Section 7): updates are additionally prioritized
   /// under the source's own weighting scheme.
@@ -155,7 +174,10 @@ class SourceAgent {
   Message ServePull(ObjectIndex index, int32_t cache_id, double now);
 
   /// Resets statistics counters (measurement start).
-  void ResetCounters() { refreshes_sent_ = 0; }
+  void ResetCounters() {
+    refreshes_sent_ = 0;
+    invalidations_sent_ = 0;
+  }
 
   /// Current weighted priority of an object under this agent's policy.
   /// The channel-less form is valid only on single-channel sources (checked):
@@ -174,6 +196,19 @@ class SourceAgent {
     uint64_t epoch = 0;
     SampledTracker sampled;
     HistoryRateEstimator history;
+  };
+
+  /// The source's model of one replica under the invalidation protocol:
+  /// fresh (the cache holds the live value as far as the source shipped it),
+  /// queued (an update happened, the notification awaits bandwidth), or
+  /// sent (notified — further updates are free until a pull refills it).
+  /// A lost notification strands the replica in kInvalidateSent: the source
+  /// believes the cache knows, the cache believes the replica is valid —
+  /// the valid-but-stale hazard pinned in tests/protocol_test.cc.
+  enum ReplicaNotifyState : uint8_t {
+    kReplicaFresh = 0,
+    kInvalidateQueued = 1,
+    kInvalidateSent = 2,
   };
 
   /// Per-cache protocol state: threshold controller T_{j,c}, the priority
@@ -204,6 +239,12 @@ class SourceAgent {
     /// Time-varying policies: wake-ups at predicted threshold crossings.
     TimeMinHeap wake_queue;
     double last_emit_time = 0.0;
+    /// Invalidation protocol only: per-member ReplicaNotifyState (arena
+    /// span, null otherwise) and the FIFO of channel slots awaiting a
+    /// notification. Entries whose state moved off kInvalidateQueued
+    /// (a pull refilled the replica first) die lazily at send time.
+    uint8_t* invalid_state = nullptr;
+    std::deque<int32_t> invalidate_queue;
   };
 
   /// Inlined epoch resolver over a channel's local-state table. A plain
@@ -260,6 +301,13 @@ class SourceAgent {
   void PushWake(Channel* channel, ObjectIndex index, double now);
   int64_t SendRefreshesToSink(double now, Link* source_link, const EmitSink& sink,
                               int channel);
+  int64_t SendInvalidationsToSink(double now, Link* source_link,
+                                  const EmitSink& sink, int channel);
+  /// Whether the push-refresh machinery (queues, wake-ups, sampling) drives
+  /// this source. True without a protocol — the historical default.
+  bool push_protocol() const {
+    return protocol_ == nullptr || protocol_->emits_push_refreshes();
+  }
   int64_t SendRefreshesEventKeyed(Channel* channel, double now, Link* source_link,
                                   const EmitSink& sink);
   int64_t SendRefreshesBatched(Channel* channel, double now, Link* source_link,
@@ -271,6 +319,7 @@ class SourceAgent {
   int index_;
   SourceAgentConfig config_;
   const PriorityPolicy* policy_;
+  const SyncProtocol* protocol_ = nullptr;
   Harness* harness_;
   double expected_feedback_period_;
   std::vector<double> feedback_periods_by_cache_;
@@ -281,6 +330,7 @@ class SourceAgent {
   double tick_length_ = 1.0;
   bool at_full_capacity_ = false;
   int64_t refreshes_sent_ = 0;
+  int64_t invalidations_sent_ = 0;
   double granted_rate_ = 0.0;
   Simulation* sim_ = nullptr;
   /// Send-phase scratch, reused across ticks so the per-tick loops do not

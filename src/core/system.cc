@@ -8,7 +8,9 @@
 namespace besync {
 
 CooperativeScheduler::CooperativeScheduler(const CooperativeConfig& config)
-    : config_(config), policy_(MakePolicy(config.policy, config.history_beta)) {}
+    : config_(config),
+      policy_(MakePolicy(config.policy, config.history_beta)),
+      protocol_(SyncProtocol::Make(config.protocol)) {}
 
 void CooperativeScheduler::Initialize(Harness* harness) {
   harness_ = harness;
@@ -116,15 +118,19 @@ void CooperativeScheduler::Initialize(Harness* harness) {
     object_source_[i] = j;
     sources_[j]->AddObject(static_cast<ObjectIndex>(i));
   }
-  for (auto& source : sources_) source->Start(&harness->simulation(), tick);
+  for (auto& source : sources_) {
+    source->SetSyncProtocol(protocol_.get());
+    source->Start(&harness->simulation(), tick);
+  }
 
   source_order_.resize(m);
   for (int j = 0; j < m; ++j) source_order_[j] = j;
 
   // The client read side: per-cache streams, stores and pull bookkeeping.
   // Inert — no RNG created, no stream state — unless the workload
-  // configures reads or a finite tier capacity.
-  read_path_.Initialize(harness, num_caches);
+  // configures reads, a finite tier capacity, or a validity-tracking
+  // protocol (invalidation / TTL state lives next to residency).
+  read_path_.Initialize(harness, num_caches, protocol_.get());
 
   // Intra-run sharding team. The sharded phases are bitwise identical to
   // the sequential ones (see SendPhaseSharded / CollectDeliveriesSharded),
@@ -158,14 +164,13 @@ void CooperativeScheduler::FillFeedback(Message* /*feedback*/, int /*source_inde
                                         double /*t*/) {}
 
 void CooperativeScheduler::SendPhase(double t) {
-  // Random source visiting order so no source systematically wins the race
-  // for queue positions on a shared cache link. The shuffle draws from the
-  // scheduler RNG on this thread in both modes, keeping the stream intact.
-  harness_->scheduler_rng()->Shuffle(&source_order_);
   if (shard_pool_ != nullptr) {
     SendPhaseSharded(t);
     return;
   }
+  // Random source visiting order so no source systematically wins the race
+  // for queue positions on a shared cache link.
+  harness_->scheduler_rng()->Shuffle(&source_order_);
   for (int j : source_order_) {
     SourceAgent& agent = *sources_[j];
     Link* source_link = &network_->source_link(j);
@@ -184,18 +189,24 @@ void CooperativeScheduler::SendPhaseSharded(double t) {
   // emission decisions depend only on its own state (queues, trackers,
   // controllers, its source link) — never on what other sources emitted
   // this tick — so the partition may ignore the shuffled visiting order.
-  shard_pool_->Run([this, t](int shard) {
-    const auto range = ShardPool::ShardRange(
-        static_cast<int64_t>(sources_.size()), shard, shard_pool_->num_shards());
-    for (int64_t j = range.first; j < range.second; ++j) {
-      SourceAgent& agent = *sources_[j];
-      std::vector<Message>& buffer = send_buffers_[j];
-      Link* source_link = &network_->source_link(static_cast<int>(j));
-      for (int k = 0; k < agent.num_channels(); ++k) {
-        agent.SendRefreshesBuffered(t, source_link, &buffer, k);
-      }
-    }
-  });
+  // The shuffle itself runs as a prelude overlapped with the workers: it
+  // draws from the scheduler RNG on the main thread (the same stream
+  // position as the serial phase — the buffered emissions draw nothing)
+  // and writes source_order_, which only the post-barrier flush reads.
+  shard_pool_->Run(
+      [this, t](int shard) {
+        const auto range = ShardPool::ShardRange(
+            static_cast<int64_t>(sources_.size()), shard, shard_pool_->num_shards());
+        for (int64_t j = range.first; j < range.second; ++j) {
+          SourceAgent& agent = *sources_[j];
+          std::vector<Message>& buffer = send_buffers_[j];
+          Link* source_link = &network_->source_link(static_cast<int>(j));
+          for (int k = 0; k < agent.num_channels(); ++k) {
+            agent.SendRefreshesBuffered(t, source_link, &buffer, k);
+          }
+        }
+      },
+      [this] { harness_->scheduler_rng()->Shuffle(&source_order_); });
   // Flush: enqueue onto the shared tier-1 edges in the shuffled source
   // order — the exact order the serial phase enqueues in. Within a source
   // the buffer holds its channels' messages in emission order.
@@ -206,6 +217,49 @@ void CooperativeScheduler::SendPhaseSharded(double t) {
       link.Enqueue(std::move(message));
     }
     buffer.clear();
+  }
+}
+
+void CooperativeScheduler::SendInvalidationPhase(double t) {
+  // Same fairness and determinism contract as the refresh send phase: the
+  // visiting order is shuffled (invalidations race for shared tier-1 edge
+  // queue positions exactly like refreshes), the sharded mode overlaps the
+  // shuffle with the buffered per-source drains, and the buffers flush in
+  // the shuffled order.
+  if (shard_pool_ != nullptr) {
+    shard_pool_->Run(
+        [this, t](int shard) {
+          const auto range = ShardPool::ShardRange(
+              static_cast<int64_t>(sources_.size()), shard,
+              shard_pool_->num_shards());
+          for (int64_t j = range.first; j < range.second; ++j) {
+            SourceAgent& agent = *sources_[j];
+            std::vector<Message>& buffer = send_buffers_[j];
+            Link* source_link = &network_->source_link(static_cast<int>(j));
+            for (int k = 0; k < agent.num_channels(); ++k) {
+              agent.SendInvalidationsBuffered(t, source_link, &buffer, k);
+            }
+          }
+        },
+        [this] { harness_->scheduler_rng()->Shuffle(&source_order_); });
+    for (int j : source_order_) {
+      std::vector<Message>& buffer = send_buffers_[j];
+      for (Message& message : buffer) {
+        network_->first_hop_link(message.cache_id).Enqueue(std::move(message));
+      }
+      buffer.clear();
+    }
+    return;
+  }
+  harness_->scheduler_rng()->Shuffle(&source_order_);
+  for (int j : source_order_) {
+    SourceAgent& agent = *sources_[j];
+    Link* source_link = &network_->source_link(j);
+    for (int k = 0; k < agent.num_channels(); ++k) {
+      agent.SendInvalidations(t, source_link,
+                              &network_->first_hop_link(agent.channel_cache_id(k)),
+                              k);
+    }
   }
 }
 
@@ -260,9 +314,15 @@ void CooperativeScheduler::Tick(double t) {
     }
   }
 
-  // 2. Sources emit refreshes for over-threshold objects (into the tier-1
-  //    edges of their target caches).
-  SendPhase(t);
+  // 2. Sources emit into the tier-1 edges of their target caches: refreshes
+  //    for over-threshold objects (push protocols), pending invalidation
+  //    notifications (invalidation), or nothing at all (TTL — replicas age
+  //    out with no source traffic, and no send-order randomness is drawn).
+  if (protocol_->emits_push_refreshes()) {
+    SendPhase(t);
+  } else if (protocol_->emits_invalidations()) {
+    SendInvalidationPhase(t);
+  }
 
   // 2b. Relays store-and-forward queued refreshes hop by hop toward the
   //     leaves, each under its own ingress-edge and egress budgets.
@@ -282,9 +342,13 @@ void CooperativeScheduler::Tick(double t) {
       if (cache == nullptr) continue;
       std::vector<Message>& collected = deliver_buffers_[c];
       for (const Message& message : collected) {
-        harness_->DeliverRefresh(message, t);
-        cache->RecordRefresh(message, t);
-        if (reads) read_path_.OnRefreshDelivered(message, t);
+        if (message.kind == MessageKind::kInvalidate) {
+          read_path_.OnInvalidateDelivered(message, t);
+        } else {
+          harness_->DeliverRefresh(message, t);
+          cache->RecordRefresh(message, t);
+          if (reads) read_path_.OnRefreshDelivered(message, t);
+        }
       }
       collected.clear();
     }
@@ -293,9 +357,13 @@ void CooperativeScheduler::Tick(double t) {
       CacheAgent* cache = caches_[c].get();
       if (cache == nullptr) continue;
       network_->cache_link(c).DeliverQueued([&](const Message& message) {
-        harness_->DeliverRefresh(message, t);
-        cache->RecordRefresh(message, t);
-        if (reads) read_path_.OnRefreshDelivered(message, t);
+        if (message.kind == MessageKind::kInvalidate) {
+          read_path_.OnInvalidateDelivered(message, t);
+        } else {
+          harness_->DeliverRefresh(message, t);
+          cache->RecordRefresh(message, t);
+          if (reads) read_path_.OnRefreshDelivered(message, t);
+        }
       });
     }
   }
@@ -310,7 +378,10 @@ void CooperativeScheduler::Tick(double t) {
   }
 
   // 4. Surplus cache-side bandwidth becomes positive feedback, aimed per
-  //    cache at the sources with the highest local thresholds there.
+  //    cache at the sources with the highest local thresholds there. Only
+  //    the push protocols run it: invalidation / TTL sources have no
+  //    thresholds to steer, so feedback would spend bandwidth on nothing.
+  if (!protocol_->emits_push_refreshes()) return;
   for (int c = 0; c < num_caches(); ++c) {
     CacheAgent* cache = caches_[c].get();
     if (cache == nullptr) continue;
@@ -362,6 +433,7 @@ SchedulerStats CooperativeScheduler::stats() const {
   int64_t channels = 0;
   for (const auto& source : sources_) {
     stats.refreshes_sent += source->refreshes_sent();
+    stats.invalidations_sent += source->invalidations_sent();
     for (int k = 0; k < source->num_channels(); ++k) {
       stats.mean_threshold += source->threshold(k);
       ++channels;
@@ -418,6 +490,7 @@ SchedulerStats CooperativeScheduler::stats() const {
     stats.read_staleness_p95 = reads.staleness_p95;
     stats.read_staleness_p99 = reads.staleness_p99;
     stats.read_miss_latency_mean = reads.miss_latency_mean;
+    stats.invalidations_received = reads.invalidations_received;
     // Push-vs-pull bandwidth split over every cache-side edge (leaf links
     // plus relay ingress edges — the links pulls and pushes contend on).
     for (int n = 0; n < network_->num_nodes(); ++n) {

@@ -11,6 +11,7 @@
 #include "core/source.h"
 #include "net/network.h"
 #include "priority/priority.h"
+#include "protocol/sync_protocol.h"
 #include "read/read_path.h"
 #include "util/result.h"
 #include "util/shard_pool.h"
@@ -56,6 +57,12 @@ struct CooperativeConfig {
   TopologySpec topology;
   /// Order in which relays drain their stores (tree topologies only).
   RelayForwardPolicy relay_forward = RelayForwardPolicy::kFifo;
+  /// Consistency protocol (src/protocol/): push refresh (the paper's, and
+  /// the bitwise-identical default), invalidation, or TTL/lease. Non-push
+  /// protocols replace the threshold send phase with their own emission
+  /// rules and disable surplus feedback; reads of invalid/expired replicas
+  /// miss and pull.
+  SyncProtocolConfig protocol;
   /// Intra-run worker threads for the sharded tick phases (send-phase
   /// emission and per-cache delivery collection). 1 (default) runs the
   /// historical sequential path; N > 1 partitions sources and caches across
@@ -121,9 +128,19 @@ class CooperativeScheduler : public Scheduler {
   /// concurrently into per-source buffers (every mutated structure —
   /// channel queues, trackers, threshold controllers, the source link — is
   /// private to one source), then the buffers are flushed onto the shared
-  /// cache links serially in the shuffled source order. Bitwise identical
-  /// to the serial SendPhase at any shard count.
+  /// cache links serially in the shuffled source order. The send-order
+  /// shuffle itself runs as a main-thread prelude overlapped with the
+  /// worker dispatch (the emission compute reads neither the scheduler RNG
+  /// nor source_order_). Bitwise identical to the serial SendPhase at any
+  /// shard count.
   void SendPhaseSharded(double t);
+
+  /// Step 2 under the invalidation protocol: sources drain their pending
+  /// invalidation queues instead of the threshold priority queues, with the
+  /// same shuffled visiting order, source-side budgets, and serial/sharded
+  /// split as the refresh send phase. TTL runs no step-2 phase at all (and
+  /// draws no shuffle randomness — updates are silent at the source).
+  void SendInvalidationPhase(double t);
 
   /// Sharded half of tick step 3: each cache link pops this tick's
   /// deliverable refreshes concurrently (budget, loss draws and stats are
@@ -147,6 +164,10 @@ class CooperativeScheduler : public Scheduler {
   CooperativeConfig config_;
   Harness* harness_ = nullptr;
   std::unique_ptr<PriorityPolicy> policy_;
+  /// The run's consistency protocol; every emission / delivery / feedback
+  /// decision point dispatches through it. Push refresh degenerates to the
+  /// historical code paths bit for bit.
+  std::unique_ptr<SyncProtocol> protocol_;
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<SourceAgent>> sources_;
   /// One agent per cache, in cache-id order.

@@ -43,6 +43,7 @@ std::unique_ptr<Scheduler> MakeScheduler(const ExperimentConfig& config) {
       cooperative.loss_rate = config.loss_rate;
       cooperative.topology = config.topology;
       cooperative.relay_forward = config.relay_forward;
+      cooperative.protocol = config.protocol;
       cooperative.run_threads = config.run_threads;
       return std::make_unique<CooperativeScheduler>(cooperative);
     }
@@ -100,6 +101,20 @@ Result<RunResult> RunExperimentOnWorkload(const ExperimentConfig& config,
         "is modeled by the cooperative protocol only; scheduler ",
         SchedulerKindToString(config.scheduler),
         " would silently ignore it while its results were labeled with it");
+  }
+  if (config.protocol.kind != SyncProtocolKind::kPushRefresh) {
+    if (config.scheduler != SchedulerKind::kCooperative) {
+      return Status::InvalidArgument(
+          "consistency protocol ", SyncProtocolKindToString(config.protocol.kind),
+          " is a cooperative-engine feature; scheduler ",
+          SchedulerKindToString(config.scheduler), " hard-codes its own refresh rule");
+    }
+    if (!workload->reads_enabled()) {
+      return Status::InvalidArgument(
+          "consistency protocol ", SyncProtocolKindToString(config.protocol.kind),
+          " requires client reads (read_rate or read_streams): without reads "
+          "nothing ever pulls an invalid/expired replica back in");
+    }
   }
   if (!config.topology.flat()) {
     BESYNC_RETURN_IF_ERROR(config.topology.Validate(workload->num_caches));

@@ -58,6 +58,12 @@ struct ExperimentConfig {
   /// Relay store-drain order (tree topologies): FIFO or priority-preserving.
   RelayForwardPolicy relay_forward = RelayForwardPolicy::kFifo;
 
+  /// Consistency protocol (cooperative scheduler): push refresh (default),
+  /// invalidation, or TTL/lease. Non-push protocols require client reads
+  /// (something must pull invalid/expired replicas back in) and are an
+  /// InvalidArgument on the baseline schedulers.
+  SyncProtocolConfig protocol;
+
   /// Priority policy for the cooperative/ideal schedulers.
   PolicyKind policy = PolicyKind::kArea;
   /// Threshold algorithm parameters (cooperative scheduler).

@@ -141,6 +141,13 @@ bool ReadFieldsApply(const JobResult& job) {
          job.result.scheduler.reads_total > 0;
 }
 
+/// Whether a job's serialized row carries consistency-protocol fields. Only
+/// non-push-refresh jobs do: a pure function of the job's config, so every
+/// historical (push-refresh) grid keeps its exact bytes.
+bool ProtocolFieldsApply(const JobResult& job) {
+  return job.config.protocol.kind != SyncProtocolKind::kPushRefresh;
+}
+
 }  // namespace
 
 uint64_t DeriveJobSeed(uint64_t base, uint64_t index) {
@@ -223,6 +230,14 @@ void WriteResultsJson(std::ostream& os, const std::vector<JobResult>& results,
          << ", \"read_miss_latency_mean\": " << JsonNumber(s.read_miss_latency_mean)
          << ", \"pull_bandwidth_share\": " << JsonNumber(s.pull_bandwidth_share);
     }
+    if (ProtocolFieldsApply(job)) {
+      os << ",\n     \"protocol\": "
+         << JsonString(SyncProtocolKindToString(job.config.protocol.kind))
+         << ", \"ttl\": " << JsonNumber(job.config.protocol.ttl)
+         << ", \"invalidate_batch\": " << job.config.protocol.max_invalidate_batch
+         << ", \"invalidations_sent\": " << r.scheduler.invalidations_sent
+         << ", \"invalidations_received\": " << r.scheduler.invalidations_received;
+    }
     os << "}";
   }
   os << (results.empty() ? "]" : "\n  ]");
@@ -269,6 +284,10 @@ TablePrinter ResultsCsv(const std::vector<JobResult>& results) {
   // sweeps keep their historical CSV bytes exactly.
   bool reads = false;
   for (const JobResult& job : results) reads = reads || ReadFieldsApply(job);
+  // Likewise for protocol columns: only grids that run a non-push-refresh
+  // consistency protocol carry them.
+  bool protocols = false;
+  for (const JobResult& job : results) protocols = protocols || ProtocolFieldsApply(job);
   std::vector<std::string> header{
       "name", "scheduler", "policy", "metric", "num_caches",
       "cache_bandwidth_avg", "source_bandwidth_avg", "loss_rate",
@@ -283,6 +302,13 @@ TablePrinter ResultsCsv(const std::vector<JobResult>& results) {
           "read_staleness_mean", "read_staleness_p50", "read_staleness_p95",
           "read_staleness_p99", "read_miss_latency_mean",
           "pull_bandwidth_share"}) {
+      header.push_back(column);
+    }
+  }
+  if (protocols) {
+    for (const char* column :
+         {"protocol", "ttl", "invalidate_batch", "invalidations_sent",
+          "invalidations_received"}) {
       header.push_back(column);
     }
   }
@@ -329,6 +355,13 @@ TablePrinter ResultsCsv(const std::vector<JobResult>& results) {
       row.push_back(JsonNumber(s.read_staleness_p99));
       row.push_back(JsonNumber(s.read_miss_latency_mean));
       row.push_back(JsonNumber(s.pull_bandwidth_share));
+    }
+    if (protocols) {
+      row.push_back(SyncProtocolKindToString(job.config.protocol.kind));
+      row.push_back(JsonNumber(job.config.protocol.ttl));
+      row.push_back(std::to_string(job.config.protocol.max_invalidate_batch));
+      row.push_back(TablePrinter::Cell(r.scheduler.invalidations_sent));
+      row.push_back(TablePrinter::Cell(r.scheduler.invalidations_received));
     }
     row.push_back(job.status.ok() ? "" : job.status.ToString());
     table.AddRow(std::move(row));

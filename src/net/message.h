@@ -34,6 +34,13 @@ enum class MessageKind {
   /// regular kRefresh with `is_pull` set, contending for the same link
   /// budgets as pushed refreshes.
   kPullRequest,
+  /// Source -> cache: invalidation notification (SyncProtocolKind::
+  /// kInvalidation). Carries no value — only the object index (plus any
+  /// batch-mates in `extra_refreshes`, values/versions ignored) — so it is
+  /// cheap (`cost` = SyncProtocolConfig::invalidate_cost). Marks the
+  /// replica invalid; the next read misses and pulls. Traverses the same
+  /// downstream links (and relay trees, and loss draws) as refreshes.
+  kInvalidate,
 };
 
 /// A unit-size protocol message. Fields not meaningful for a given kind are

@@ -107,4 +107,11 @@ void CacheStore::ResetCounters() {
   installs_ = 0;
 }
 
+void CacheStore::EnableSyncState(double initial_lease_expiry) {
+  BESYNC_CHECK(sync_.empty()) << "EnableSyncState called twice";
+  ReplicaSyncState initial;
+  initial.lease_expiry = initial_lease_expiry;
+  sync_.assign(members_.size(), initial);
+}
+
 }  // namespace besync

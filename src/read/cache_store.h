@@ -7,6 +7,7 @@
 
 #include "data/object.h"
 #include "data/read_process.h"
+#include "protocol/sync_protocol.h"
 
 namespace besync {
 
@@ -59,6 +60,15 @@ class CacheStore {
   /// Resets counters (measurement start); residency state is preserved.
   void ResetCounters();
 
+  /// Allocates per-slot ReplicaSyncState for validity-tracking protocols
+  /// (invalidation / TTL), sized over all members even when the store is
+  /// unbounded. Replicas start synchronized: valid, with the given lease
+  /// expiry (infinity except under TTL). Call once before the run.
+  void EnableSyncState(double initial_lease_expiry);
+  bool sync_state_enabled() const { return !sync_.empty(); }
+  ReplicaSyncState& sync_state(int64_t slot) { return sync_[slot]; }
+  const ReplicaSyncState& sync_state(int64_t slot) const { return sync_[slot]; }
+
  private:
   struct SlotState {
     bool resident = false;
@@ -74,6 +84,8 @@ class CacheStore {
   std::vector<ObjectIndex> members_;
   /// Per-slot state; empty when unbounded (nothing to track).
   std::vector<SlotState> slots_;
+  /// Per-slot protocol state; empty unless EnableSyncState was called.
+  std::vector<ReplicaSyncState> sync_;
   int64_t num_resident_ = 0;
   int64_t evictions_ = 0;
   int64_t installs_ = 0;

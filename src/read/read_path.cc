@@ -6,16 +6,20 @@
 
 namespace besync {
 
-void ReadPath::Initialize(Harness* harness, int num_caches) {
+void ReadPath::Initialize(Harness* harness, int num_caches,
+                          const SyncProtocol* protocol) {
   harness_ = harness;
   const Workload& workload = harness->workload();
   config_ = workload.read;
+  protocol_ = protocol;
+  validity_tracked_ = protocol != nullptr && protocol->tracks_validity();
   reads_enabled_ = workload.reads_enabled();
-  enabled_ = reads_enabled_ || config_.capacity > 0;
+  enabled_ = reads_enabled_ || config_.capacity > 0 || validity_tracked_;
   caches_.clear();
   reads_ = hits_ = misses_ = pull_requests_ = pulls_delivered_ = 0;
   miss_latency_sum_ = 0.0;
   miss_latency_count_ = 0;
+  invalidations_received_ = 0;
   if (!enabled_) return;
 
   if (!workload.read_streams.empty()) {
@@ -63,8 +67,14 @@ void ReadPath::Initialize(Harness* harness, int num_caches) {
     state.next_read_time = state.stream != nullptr
                                ? state.stream->NextReadTime(0.0, &state.rng)
                                : std::numeric_limits<double>::infinity();
-    if (!state.store.unbounded()) {
+    // Validity-tracking protocols make even unbounded stores missable (an
+    // invalid/expired replica reads as a miss), so they need pending-pull
+    // slots and per-replica sync state alongside residency.
+    if (!state.store.unbounded() || validity_tracked_) {
       state.pending.resize(static_cast<size_t>(n));
+    }
+    if (validity_tracked_) {
+      state.store.EnableSyncState(protocol_->initial_lease_expiry());
     }
     caches_.push_back(std::move(state));
   }
@@ -98,7 +108,9 @@ void ReadPath::ProcessReads(double t) {
 
 void ReadPath::HandleRead(CacheState* cache, int64_t slot, double t) {
   ++reads_;
-  if (cache->store.resident(slot)) {
+  const bool fresh =
+      !validity_tracked_ || protocol_->ReplicaFresh(cache->store.sync_state(slot), t);
+  if (fresh && cache->store.resident(slot)) {
     ++hits_;
     cache->store.TouchRead(slot, t);
     cache->staleness.Add(ReplicaDivergence(*cache, cache->store.member(slot)));
@@ -170,6 +182,11 @@ void ReadPath::ResolveDelivery(CacheState* cache, ObjectIndex index, double t,
   cache->store.Install(slot, t, [this, cache](ObjectIndex member) {
     return ReplicaDivergence(*cache, member);
   });
+  // Any delivery re-validates the replica: a pull response closes an
+  // invalid episode, and a TTL delivery renews the lease.
+  if (validity_tracked_) {
+    protocol_->OnRefreshApplied(&cache->store.sync_state(slot), t);
+  }
   if (cache->pending.empty()) return;
   PendingPull& pending = cache->pending[slot];
   if (!pending.active) return;
@@ -185,11 +202,29 @@ void ReadPath::ResolveDelivery(CacheState* cache, ObjectIndex index, double t,
   pending = PendingPull{};
 }
 
+void ReadPath::OnInvalidateDelivered(const Message& message, double t) {
+  BESYNC_CHECK(validity_tracked_)
+      << "kInvalidate delivered without a validity-tracking protocol";
+  CacheState& cache = caches_[message.cache_id];
+  ApplyInvalidate(&cache, message.object_index, t);
+  for (const RefreshPayload& payload : message.extra_refreshes) {
+    ApplyInvalidate(&cache, payload.object_index, t);
+  }
+}
+
+void ReadPath::ApplyInvalidate(CacheState* cache, ObjectIndex index, double t) {
+  const int64_t slot = cache->store.SlotOf(index);
+  if (slot < 0) return;
+  protocol_->OnInvalidate(&cache->store.sync_state(slot), t);
+  ++invalidations_received_;
+}
+
 void ReadPath::OnMeasurementStart() {
   if (!enabled_) return;
   reads_ = hits_ = misses_ = pull_requests_ = pulls_delivered_ = 0;
   miss_latency_sum_ = 0.0;
   miss_latency_count_ = 0;
+  invalidations_received_ = 0;
   for (CacheState& cache : caches_) {
     cache.staleness.Reset();
     cache.store.ResetCounters();
@@ -211,6 +246,7 @@ ReadPathCounters ReadPath::Counters() const {
   counters.misses = misses_;
   counters.pull_requests = pull_requests_;
   counters.pulls_delivered = pulls_delivered_;
+  counters.invalidations_received = invalidations_received_;
   QuantileDigest merged;
   for (const CacheState& cache : caches_) {
     counters.evictions += cache.store.evictions();

@@ -33,6 +33,9 @@ struct ReadPathCounters {
   double staleness_p99 = 0.0;
   /// Mean time from a missing read to the delivery that serves it.
   double miss_latency_mean = 0.0;
+  /// Replica invalidations applied (invalidation protocol; a batched
+  /// kInvalidate of k objects counts k times).
+  int64_t invalidations_received = 0;
 };
 
 /// The client read side of one simulation run: per-cache read streams,
@@ -66,7 +69,11 @@ class ReadPath {
   /// used in place after a Reset() — the workload-sharing hazard of
   /// exp/runner.h applies; Poisson/Zipf streams are built privately from
   /// ReadWorkloadConfig when read_rate > 0. `harness` must outlive this.
-  void Initialize(Harness* harness, int num_caches);
+  /// A validity-tracking `protocol` (invalidation / TTL; may be null —
+  /// push refresh) adds per-replica ReplicaSyncState to the stores and
+  /// makes reads of invalid/expired replicas miss and pull.
+  void Initialize(Harness* harness, int num_caches,
+                  const SyncProtocol* protocol = nullptr);
 
   /// True when the read path participates in the run at all (client reads
   /// configured or finite capacity).
@@ -77,6 +84,10 @@ class ReadPath {
   void ProcessReads(double t);
   void SendPullRequests(double t, Network* network);
   void OnRefreshDelivered(const Message& message, double t);
+  /// Applies a delivered kInvalidate notification (primary object plus any
+  /// batch-mates): the replicas turn invalid, so their next read misses.
+  /// Residency is untouched — the stale bytes stay until overwritten.
+  void OnInvalidateDelivered(const Message& message, double t);
 
   /// Measurement-window reset (residency and pending pulls persist; only
   /// statistics are zeroed).
@@ -120,10 +131,13 @@ class ReadPath {
 
   void HandleRead(CacheState* cache, int64_t slot, double t);
   void ResolveDelivery(CacheState* cache, ObjectIndex index, double t, bool is_pull);
+  void ApplyInvalidate(CacheState* cache, ObjectIndex index, double t);
   double ReplicaDivergence(const CacheState& cache, ObjectIndex index) const;
 
   Harness* harness_ = nullptr;
   ReadWorkloadConfig config_;
+  const SyncProtocol* protocol_ = nullptr;
+  bool validity_tracked_ = false;
   bool enabled_ = false;
   bool reads_enabled_ = false;
   std::vector<CacheState> caches_;
@@ -134,6 +148,7 @@ class ReadPath {
   int64_t pulls_delivered_ = 0;
   double miss_latency_sum_ = 0.0;
   int64_t miss_latency_count_ = 0;
+  int64_t invalidations_received_ = 0;
 };
 
 }  // namespace besync

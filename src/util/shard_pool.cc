@@ -22,7 +22,13 @@ ShardPool::~ShardPool() {
 }
 
 void ShardPool::Run(const std::function<void(int)>& fn) {
+  Run(fn, nullptr);
+}
+
+void ShardPool::Run(const std::function<void(int)>& fn,
+                    const std::function<void()>& main_prelude) {
   if (num_shards_ == 1) {
+    if (main_prelude) main_prelude();
     fn(0);
     return;
   }
@@ -33,6 +39,9 @@ void ShardPool::Run(const std::function<void(int)>& fn) {
     ++epoch_;
   }
   start_.notify_all();
+  // The workers are off computing their shards; the prelude's serial work
+  // rides under them on this thread.
+  if (main_prelude) main_prelude();
   fn(0);
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [this] { return running_ == 0; });

@@ -42,6 +42,16 @@ class ShardPool {
   /// have returned. fn(0) runs on the calling thread.
   void Run(const std::function<void(int)>& fn);
 
+  /// Run(fn) with a caller-thread prelude overlapped with the workers:
+  /// `main_prelude` executes on the calling thread after the worker shards
+  /// are dispatched and before fn(0). Use it for serial work (e.g. a
+  /// send-order shuffle drawing the main thread's RNG) that no shard
+  /// function reads — it then costs no wall-clock at all instead of
+  /// serializing ahead of the fan-out. With one shard the prelude simply
+  /// runs before fn(0).
+  void Run(const std::function<void(int)>& fn,
+           const std::function<void()>& main_prelude);
+
   /// Contiguous half-open range [first, last) of shard `shard` over `count`
   /// items: the canonical deterministic partition (sizes differ by at most
   /// one; depends only on (count, shard, num_shards)).

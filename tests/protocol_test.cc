@@ -1,266 +1,347 @@
-// White-box tests of the cooperative protocol mechanics at the agent level:
-// send ordering, threshold piggybacking, full-capacity semantics, secondary
-// (competitive) sends, batching, and time-varying wake-up scheduling.
-
-#include <algorithm>
-#include <cmath>
-#include <memory>
+// Consistency-protocol layer tests (protocol/sync_protocol.h): the
+// push-refresh extraction pin (protocol-dispatched engine reproduces the
+// seed goldens bitwise), protocol-object unit semantics, invalidation end
+// to end (flat, through relay trees, and across lossy links where a lost
+// invalidate leaves a valid-but-stale replica), TTL/lease determinism and
+// zero-source-traffic behavior, and thread-count-independent JSON for all
+// three protocols.
 
 #include <gtest/gtest.h>
 
-#include "core/competitive.h"
-#include "core/harness.h"
-#include "core/source.h"
-#include "core/system.h"
-#include "divergence/metric.h"
-#include "net/link.h"
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/protocol_sweep.h"
+#include "exp/runner.h"
+#include "protocol/sync_protocol.h"
 
 namespace besync {
 namespace {
 
-std::unique_ptr<Link> MakeLink(double rate) {
-  return std::make_unique<Link>(
-      "test", std::make_unique<BandwidthModel>(
-                  std::make_unique<ConstantFluctuation>(rate)));
+constexpr double kTolerance = 1e-9;
+
+/// The GoldenTest.CooperativeTrigger configuration (tests/golden_test.cc):
+/// the seed-era constants the protocol layer must not disturb when the
+/// protocol is push refresh.
+ExperimentConfig GoldenConfig() {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kCooperative;
+  config.workload.num_sources = 8;
+  config.workload.objects_per_source = 25;
+  config.workload.seed = 42;
+  config.harness.warmup = 50.0;
+  config.harness.measure = 300.0;
+  config.harness.seed = 7;
+  config.cache_bandwidth_avg = 12.0;
+  config.source_bandwidth_avg = 4.0;
+  return config;
 }
 
-/// Agent-level fixture: a harness that is never Run; object state is driven
-/// by hand so each protocol step can be observed in isolation.
-class SourceAgentTest : public ::testing::Test {
- protected:
-  SourceAgentTest() {
-    WorkloadConfig config;
-    config.num_sources = 1;
-    config.objects_per_source = 5;
-    config.seed = 3;
-    workload_ = std::move(MakeWorkload(config)).ValueOrDie();
-    metric_ = MakeMetric(MetricKind::kValueDeviation);
-    harness_config_.warmup = 0.0;
-    harness_config_.measure = 1000.0;
-    harness_ = std::make_unique<Harness>(&workload_, metric_.get(), harness_config_);
-    policy_ = MakePolicy(PolicyKind::kArea);
-    source_link_ = MakeLink(100.0);
-    cache_link_ = MakeLink(100.0);
-  }
+constexpr double kGoldenDivergence = 226.69154803746471;
+constexpr int64_t kGoldenRefreshes = 3150;
+constexpr int64_t kGoldenFeedback = 436;
 
-  SourceAgent MakeAgent(const SourceAgentConfig& config) {
-    SourceAgent agent(0, config, /*expected_feedback_period=*/10.0, policy_.get(),
-                      harness_.get());
-    for (int i = 0; i < 5; ++i) agent.AddObject(i);
-    agent.Start(&harness_->simulation(), /*tick_length=*/1.0);
-    return agent;
-  }
-
-  /// Applies a synthetic update of `delta` to object `i` at time `t` and
-  /// notifies the agent.
-  void Update(SourceAgent* agent, ObjectIndex i, double t, double delta) {
-    ObjectRuntime& object = harness_->objects()[i];
-    object.state.value += delta;
-    ++object.state.version;
-    object.state.last_update_time = t;
-    object.tracker().OnUpdate(t, object.state.value, object.state.version);
-    agent->OnObjectUpdate(i, t);
-  }
-
-  void BeginTick(double t) {
-    source_link_->BeginTick(t, 1.0);
-    cache_link_->BeginTick(t, 1.0);
-  }
-
-  std::vector<Message> DrainCacheLink() {
-    std::vector<Message> messages;
-    cache_link_->DeliverQueued(
-        [&messages](const Message& m) { messages.push_back(m); });
-    return messages;
-  }
-
-  Workload workload_;
-  std::unique_ptr<DivergenceMetric> metric_;
-  HarnessConfig harness_config_;
-  std::unique_ptr<Harness> harness_;
-  std::unique_ptr<PriorityPolicy> policy_;
-  std::unique_ptr<Link> source_link_;
-  std::unique_ptr<Link> cache_link_;
-};
-
-TEST_F(SourceAgentTest, SendsAboveThresholdInPriorityOrder) {
-  SourceAgentConfig config;
-  config.threshold.initial = 5.0;
-  SourceAgent agent = MakeAgent(config);
-  // For a single update of size d at time t_u (refreshed at 0), the area
-  // priority is P = d * t_u: recent divergers win (Figure 3's intuition).
-  Update(&agent, 1, 1.0, 3.0);  // P = 3*1 = 3  -> below the threshold of 5
-  Update(&agent, 2, 8.0, 8.0);  // P = 8*8 = 64 -> highest
-  Update(&agent, 3, 9.0, 1.0);  // P = 1*9 = 9
-  BeginTick(10.0);
-  const int64_t sent = agent.SendRefreshes(10.0, source_link_.get(), cache_link_.get());
-  EXPECT_EQ(sent, 2);
-  const auto messages = DrainCacheLink();
-  ASSERT_EQ(messages.size(), 2u);
-  EXPECT_EQ(messages[0].object_index, 2);  // highest priority first
-  EXPECT_EQ(messages[1].object_index, 3);
+/// A small read-enabled multi-cache shape the non-push protocols run on.
+ExperimentConfig ReadConfig() {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kCooperative;
+  config.workload.num_sources = 4;
+  config.workload.objects_per_source = 12;
+  config.workload.num_caches = 2;
+  config.workload.interest_pattern = InterestPattern::kPartitionedBySource;
+  config.workload.read.read_rate = 4.0;
+  config.workload.seed = 29;
+  config.harness.warmup = 20.0;
+  config.harness.measure = 200.0;
+  config.harness.seed = 11;
+  config.cache_bandwidth_avg = 6.0;
+  return config;
 }
 
-TEST_F(SourceAgentTest, ThresholdRisesPerSendAndIsPiggybacked) {
-  SourceAgentConfig config;
-  config.threshold.initial = 1.0;
-  config.threshold.increase = 1.1;
-  SourceAgent agent = MakeAgent(config);
-  Update(&agent, 0, 1.0, 5.0);
-  Update(&agent, 1, 2.0, 5.0);
-  BeginTick(10.0);
-  agent.SendRefreshes(10.0, source_link_.get(), cache_link_.get());
-  const auto messages = DrainCacheLink();
-  ASSERT_EQ(messages.size(), 2u);
-  // Each message carries the post-increase threshold at its send.
-  EXPECT_NEAR(messages[0].piggyback_threshold, 1.1, 1e-12);
-  EXPECT_NEAR(messages[1].piggyback_threshold, 1.21, 1e-12);
-  EXPECT_NEAR(agent.threshold(), 1.21, 1e-12);
+RunResult MustRun(const ExperimentConfig& config) {
+  auto result = RunExperiment(config);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
 }
 
-TEST_F(SourceAgentTest, FullCapacityFlagAndFeedbackSuppression) {
-  SourceAgentConfig config;
-  config.threshold.initial = 0.1;
-  SourceAgent agent = MakeAgent(config);
-  for (int i = 0; i < 5; ++i) Update(&agent, i, 1.0, 10.0);
-  source_link_ = MakeLink(2.0);  // only 2 of 5 eligible fit
-  BeginTick(5.0);
-  const int64_t sent = agent.SendRefreshes(5.0, source_link_.get(), cache_link_.get());
-  EXPECT_EQ(sent, 2);
-  EXPECT_TRUE(agent.at_full_capacity());
-  // Feedback must NOT lower the threshold while saturated (footnote 3)...
-  const double before = agent.threshold();
-  Message feedback;
-  feedback.kind = MessageKind::kFeedback;
-  agent.OnFeedback(feedback, 6.0);
-  EXPECT_DOUBLE_EQ(agent.threshold(), before);
-  // ...but once the backlog clears, feedback lowers it again.
-  BeginTick(6.0);
-  agent.SendRefreshes(6.0, source_link_.get(), cache_link_.get());
-  BeginTick(7.0);
-  agent.SendRefreshes(7.0, source_link_.get(), cache_link_.get());
-  EXPECT_FALSE(agent.at_full_capacity());
-  const double saturated = agent.threshold();
-  agent.OnFeedback(feedback, 8.0);
-  EXPECT_LT(agent.threshold(), saturated);
+// --------------------------------------------------- protocol unit layer
+
+TEST(SyncProtocolTest, KindNamesRoundTrip) {
+  EXPECT_EQ(SyncProtocolKindToString(SyncProtocolKind::kPushRefresh), "push-refresh");
+  EXPECT_EQ(SyncProtocolKindToString(SyncProtocolKind::kInvalidation), "invalidation");
+  EXPECT_EQ(SyncProtocolKindToString(SyncProtocolKind::kTtlLease), "ttl-lease");
 }
 
-TEST_F(SourceAgentTest, SecondarySendsSkipThresholdAndDontBumpIt) {
-  SourceAgentConfig config;
-  config.threshold.initial = 1e6;  // nothing passes the threshold path
-  SourceAgent agent = MakeAgent(config);
-  agent.EnableSecondaryQueue();
-  Update(&agent, 0, 1.0, 2.0);
-  Update(&agent, 1, 1.0, 4.0);
-  BeginTick(5.0);
-  EXPECT_EQ(agent.SendRefreshes(5.0, source_link_.get(), cache_link_.get()), 0);
-  const double threshold_before = agent.threshold();
-  const int64_t sent =
-      agent.SendSecondary(5.0, /*max_count=*/1, source_link_.get(), cache_link_.get());
-  EXPECT_EQ(sent, 1);
-  EXPECT_DOUBLE_EQ(agent.threshold(), threshold_before);
-  const auto messages = DrainCacheLink();
-  ASSERT_EQ(messages.size(), 1u);
-  EXPECT_EQ(messages[0].object_index, 1);  // own-priority order
+TEST(SyncProtocolTest, PushRefreshIsAlwaysFresh) {
+  SyncProtocolConfig config;
+  const auto protocol = SyncProtocol::Make(config);
+  EXPECT_TRUE(protocol->emits_push_refreshes());
+  EXPECT_FALSE(protocol->emits_invalidations());
+  EXPECT_FALSE(protocol->tracks_validity());
+  ReplicaSyncState state;
+  EXPECT_TRUE(protocol->ReplicaFresh(state, 0.0));
+  EXPECT_TRUE(protocol->ReplicaFresh(state, 1e9));
 }
 
-TEST_F(SourceAgentTest, RefreshResetsTrackerAndSecondSendFindsNothing) {
-  SourceAgentConfig config;
-  config.threshold.initial = 0.5;
-  SourceAgent agent = MakeAgent(config);
-  Update(&agent, 0, 1.0, 5.0);
-  BeginTick(4.0);
-  EXPECT_EQ(agent.SendRefreshes(4.0, source_link_.get(), cache_link_.get()), 1);
-  EXPECT_DOUBLE_EQ(harness_->objects()[0].tracker().current_divergence(), 0.0);
-  BeginTick(5.0);
-  EXPECT_EQ(agent.SendRefreshes(5.0, source_link_.get(), cache_link_.get()), 0);
+TEST(SyncProtocolTest, InvalidationTogglesValidity) {
+  SyncProtocolConfig config;
+  config.kind = SyncProtocolKind::kInvalidation;
+  const auto protocol = SyncProtocol::Make(config);
+  EXPECT_FALSE(protocol->emits_push_refreshes());
+  EXPECT_TRUE(protocol->emits_invalidations());
+  EXPECT_TRUE(protocol->tracks_validity());
+  ReplicaSyncState state;
+  EXPECT_TRUE(protocol->ReplicaFresh(state, 5.0));
+  protocol->OnInvalidate(&state, 5.0);
+  EXPECT_FALSE(protocol->ReplicaFresh(state, 6.0));
+  protocol->OnRefreshApplied(&state, 7.0);
+  EXPECT_TRUE(protocol->ReplicaFresh(state, 8.0));
 }
 
-TEST_F(SourceAgentTest, BatchingPacksFullBatchesImmediately) {
-  SourceAgentConfig config;
-  config.threshold.initial = 0.5;
-  config.max_batch = 3;
-  config.max_batch_delay = 100.0;  // partials wait a long time
-  SourceAgent agent = MakeAgent(config);
-  for (int i = 0; i < 4; ++i) Update(&agent, i, 1.0, 5.0);
-  BeginTick(5.0);
-  agent.SendRefreshes(5.0, source_link_.get(), cache_link_.get());
-  const auto messages = DrainCacheLink();
-  // 4 eligible -> one full batch of 3; the leftover partial is held back.
-  ASSERT_EQ(messages.size(), 1u);
-  EXPECT_EQ(messages[0].extra_refreshes.size(), 2u);
-  EXPECT_EQ(messages[0].cost, 1);
-  EXPECT_EQ(agent.refreshes_sent(), 3);
+TEST(SyncProtocolTest, TtlLeaseExpires) {
+  SyncProtocolConfig config;
+  config.kind = SyncProtocolKind::kTtlLease;
+  config.ttl = 10.0;
+  const auto protocol = SyncProtocol::Make(config);
+  EXPECT_FALSE(protocol->emits_push_refreshes());
+  EXPECT_FALSE(protocol->emits_invalidations());
+  EXPECT_TRUE(protocol->tracks_validity());
+  // Warm-start replicas lease from time 0.
+  EXPECT_EQ(protocol->initial_lease_expiry(), 10.0);
+  ReplicaSyncState state;
+  state.lease_expiry = protocol->initial_lease_expiry();
+  EXPECT_TRUE(protocol->ReplicaFresh(state, 9.0));
+  EXPECT_FALSE(protocol->ReplicaFresh(state, 10.0));  // expiry is exclusive
+  protocol->OnRefreshApplied(&state, 12.0);
+  EXPECT_EQ(state.lease_expiry, 22.0);
+  EXPECT_TRUE(protocol->ReplicaFresh(state, 21.0));
+  EXPECT_FALSE(protocol->ReplicaFresh(state, 23.0));
 }
 
-TEST_F(SourceAgentTest, PartialBatchFlushedAfterDelay) {
-  SourceAgentConfig config;
-  config.threshold.initial = 0.5;
-  config.max_batch = 3;
-  config.max_batch_delay = 10.0;
-  SourceAgent agent = MakeAgent(config);
-  Update(&agent, 0, 1.0, 5.0);
-  BeginTick(5.0);
-  agent.SendRefreshes(5.0, source_link_.get(), cache_link_.get());
-  EXPECT_EQ(DrainCacheLink().size(), 0u);  // held: batch not full, not overdue
-  BeginTick(11.0);  // > max_batch_delay since last emission (t=0)
-  agent.SendRefreshes(11.0, source_link_.get(), cache_link_.get());
-  const auto messages = DrainCacheLink();
-  ASSERT_EQ(messages.size(), 1u);
-  EXPECT_EQ(messages[0].extra_refreshes.size(), 0u);  // partial of one
+// ------------------------------------------------- push-refresh neutrality
+
+TEST(ProtocolPinTest, PushRefreshReproducesSeedGolden) {
+  // The protocol layer's dispatch must be invisible for push refresh: same
+  // RNG stream, same message sequence, same accounting as the seed engine.
+  ExperimentConfig config = GoldenConfig();
+  config.protocol.kind = SyncProtocolKind::kPushRefresh;
+  const RunResult result = MustRun(config);
+  EXPECT_NEAR(result.total_weighted_divergence, kGoldenDivergence, kTolerance);
+  EXPECT_EQ(result.scheduler.refreshes_sent, kGoldenRefreshes);
+  EXPECT_EQ(result.scheduler.feedback_sent, kGoldenFeedback);
+  EXPECT_EQ(result.scheduler.invalidations_sent, 0);
+  EXPECT_EQ(result.scheduler.invalidations_received, 0);
 }
 
-TEST_F(SourceAgentTest, TimeVaryingBoundPolicySendsByDeadline) {
-  policy_ = MakePolicy(PolicyKind::kBound);
-  SourceAgentConfig config;
-  config.threshold.initial = 2.0;
-  SourceAgent agent = MakeAgent(config);
-  // Bound priority P = R t^2/2 * W with R = lambda from the workload; the
-  // earliest-crossing object is the one with the largest R * W.
-  double max_rate = 0.0;
-  for (const auto& spec : workload_.objects) {
-    max_rate = std::max(max_rate, spec.max_divergence_rate);
-  }
-  const double cross = std::sqrt(2.0 * 2.0 / max_rate);
-  // Just before the earliest crossing: nothing to send.
-  BeginTick(std::floor(cross) - 1.0);
-  EXPECT_EQ(agent.SendRefreshes(std::floor(cross) - 1.0, source_link_.get(),
-                                cache_link_.get()),
-            0);
-  // After it: at least that object goes out, with no update ever occurring.
-  const double later = cross + 2.0;
-  BeginTick(later);
-  EXPECT_GE(agent.SendRefreshes(later, source_link_.get(), cache_link_.get()), 1);
+TEST(ProtocolPinTest, PushRefreshJsonOmitsProtocolFields) {
+  // Historical grids must keep their exact bytes: push-refresh rows carry
+  // no protocol block, non-push rows do.
+  std::vector<ExperimentJob> jobs(2);
+  jobs[0].name = "push";
+  jobs[0].config = ReadConfig();
+  jobs[1].name = "inval";
+  jobs[1].config = ReadConfig();
+  jobs[1].config.protocol.kind = SyncProtocolKind::kInvalidation;
+  const std::vector<JobResult> results = RunExperiments(jobs, RunnerOptions{});
+  std::ostringstream json;
+  WriteResultsJson(json, results);
+  const std::string text = json.str();
+  const size_t protocol_at = text.find("\"protocol\"");
+  ASSERT_NE(protocol_at, std::string::npos);
+  // Only one row carries the field, and it is the invalidation row.
+  EXPECT_EQ(text.find("\"protocol\"", protocol_at + 1), std::string::npos);
+  EXPECT_NE(text.find("\"protocol\": \"invalidation\""), std::string::npos);
+  EXPECT_NE(text.find("\"invalidations_sent\""), std::string::npos);
 }
 
-// ------------------------------------------------ competitive grant rates
+// ------------------------------------------------------------ guard rails
 
-TEST(CompetitiveGrantTest, EqualAndProportionalRates) {
-  WorkloadConfig wl;
-  wl.num_sources = 4;
-  wl.objects_per_source = 10;
-  wl.seed = 5;
-  auto metric = MakeMetric(MetricKind::kValueDeviation);
-  HarnessConfig harness_config;
-  harness_config.warmup = 10.0;
-  harness_config.measure = 100.0;
+TEST(ProtocolGuardTest, NonPushProtocolsRequireReads) {
+  ExperimentConfig config = GoldenConfig();  // no reads
+  config.protocol.kind = SyncProtocolKind::kInvalidation;
+  const auto result = RunExperiment(config);
+  EXPECT_FALSE(result.ok());
+  config.protocol.kind = SyncProtocolKind::kTtlLease;
+  const auto ttl_result = RunExperiment(config);
+  EXPECT_FALSE(ttl_result.ok());
+}
 
-  for (ShareOption option :
-       {ShareOption::kEqualShare, ShareOption::kProportionalShare}) {
-    Workload workload = std::move(MakeWorkload(wl)).ValueOrDie();
-    Harness harness(&workload, metric.get(), harness_config);
-    CompetitiveConfig config;
-    config.base.cache_bandwidth_avg = 20.0;
-    config.psi = 0.5;
-    config.option = option;
-    CompetitiveScheduler scheduler(config);
-    ASSERT_TRUE(harness.Run(&scheduler).ok());
-    // Reserved 0.5*20 = 10 msgs/s over 4 equal sources -> 2.5 each (both
-    // options coincide for equal source sizes).
-    for (int j = 0; j < 4; ++j) {
-      EXPECT_NEAR(scheduler.source(j).granted_rate(), 2.5, 1e-9);
+TEST(ProtocolGuardTest, NonPushProtocolsRejectBaselineSchedulers) {
+  ExperimentConfig config = ReadConfig();
+  config.workload.num_caches = 1;
+  config.workload.interest_pattern = InterestPattern::kSingleCache;
+  config.scheduler = SchedulerKind::kRoundRobin;
+  config.protocol.kind = SyncProtocolKind::kInvalidation;
+  EXPECT_FALSE(RunExperiment(config).ok());
+}
+
+// ----------------------------------------------------------- invalidation
+
+TEST(InvalidationTest, FlatEndToEnd) {
+  ExperimentConfig config = ReadConfig();
+  config.protocol.kind = SyncProtocolKind::kInvalidation;
+  const RunResult result = MustRun(config);
+  // The push machinery is fully off: every byte the sources emit is an
+  // invalidate, every refill a read-triggered pull.
+  EXPECT_EQ(result.scheduler.refreshes_sent, 0);
+  EXPECT_EQ(result.scheduler.feedback_sent, 0);
+  EXPECT_GT(result.scheduler.invalidations_sent, 0);
+  EXPECT_GT(result.scheduler.invalidations_received, 0);
+  EXPECT_GT(result.scheduler.reads_total, 0);
+  EXPECT_GT(result.scheduler.read_misses, 0);
+  EXPECT_GT(result.scheduler.pulls_delivered, 0);
+  // Lossless links: sent and delivered match up to the messages in flight
+  // across the measurement-window boundaries (the same slack the refresh
+  // counters have — flat links deliver next tick, so the slack is tiny).
+  EXPECT_NEAR(static_cast<double>(result.scheduler.invalidations_received),
+              static_cast<double>(result.scheduler.invalidations_sent), 8.0);
+}
+
+TEST(InvalidationTest, DeterministicAcrossRepeatRuns) {
+  ExperimentConfig config = ReadConfig();
+  config.protocol.kind = SyncProtocolKind::kInvalidation;
+  const RunResult first = MustRun(config);
+  const RunResult second = MustRun(config);
+  EXPECT_EQ(first.total_weighted_divergence, second.total_weighted_divergence);
+  EXPECT_EQ(first.scheduler.invalidations_sent, second.scheduler.invalidations_sent);
+  EXPECT_EQ(first.scheduler.read_staleness_p95, second.scheduler.read_staleness_p95);
+}
+
+TEST(InvalidationTest, BatchingReducesMessagesNotNotifications) {
+  ExperimentConfig config = ReadConfig();
+  config.protocol.kind = SyncProtocolKind::kInvalidation;
+  config.protocol.max_invalidate_batch = 1;
+  // Squeeze the source side so the queue actually builds up batches.
+  config.source_bandwidth_avg = 2.0;
+  const RunResult unbatched = MustRun(config);
+  config.protocol.max_invalidate_batch = 8;
+  const RunResult batched = MustRun(config);
+  // Batching packs more per-object notifications into the same link budget.
+  EXPECT_GE(batched.scheduler.invalidations_sent,
+            unbatched.scheduler.invalidations_sent);
+  EXPECT_GT(batched.scheduler.invalidations_sent, 0);
+}
+
+TEST(InvalidationTest, RelayTreeEndToEnd) {
+  // Invalidates are plain messages to the relay layer: they traverse a
+  // two-tier store-and-forward tree unchanged.
+  ExperimentConfig config = ReadConfig();
+  config.workload.num_sources = 8;
+  config.workload.num_caches = 4;
+  config.workload.relay_tiers = 2;
+  config.workload.relay_fanout = 2;
+  config.workload.relay_bandwidth_factor = 0.75;
+  config.protocol.kind = SyncProtocolKind::kInvalidation;
+  const RunResult result = MustRun(config);
+  EXPECT_GT(result.scheduler.invalidations_received, 0);
+  EXPECT_GT(result.scheduler.pulls_delivered, 0);
+  EXPECT_GT(result.scheduler.relays_forwarded, 0);
+}
+
+TEST(InvalidationTest, LostInvalidateLeavesValidButStaleReplica) {
+  // A lossy link drops some invalidates. The replica then *believes* it is
+  // fresh — reads keep hitting it — so the loss shows up not in the miss
+  // counters but in read-time staleness: the silent hazard the DESIGN note
+  // documents.
+  ExperimentConfig config = ReadConfig();
+  config.protocol.kind = SyncProtocolKind::kInvalidation;
+  const RunResult lossless = MustRun(config);
+  config.loss_rate = 0.4;
+  const RunResult lossy = MustRun(config);
+  EXPECT_LT(lossy.scheduler.invalidations_received,
+            lossy.scheduler.invalidations_sent);
+  // Fewer invalidates arrive => fewer misses => fewer pulls refill, and
+  // reads served from silently-stale replicas push the staleness tail up.
+  EXPECT_GT(lossy.scheduler.read_staleness_p95,
+            lossless.scheduler.read_staleness_p95);
+}
+
+// -------------------------------------------------------------- TTL/lease
+
+TEST(TtlLeaseTest, ZeroSourceTrafficAndDeterministic) {
+  ExperimentConfig config = ReadConfig();
+  config.protocol.kind = SyncProtocolKind::kTtlLease;
+  config.protocol.ttl = 25.0;
+  const RunResult first = MustRun(config);
+  // The source volunteers nothing: no pushes, no feedback, no invalidates.
+  // All traffic is read-triggered pulls renewing expired leases.
+  EXPECT_EQ(first.scheduler.refreshes_sent, 0);
+  EXPECT_EQ(first.scheduler.feedback_sent, 0);
+  EXPECT_EQ(first.scheduler.invalidations_sent, 0);
+  EXPECT_EQ(first.scheduler.invalidations_received, 0);
+  EXPECT_GT(first.scheduler.reads_total, 0);
+  EXPECT_GT(first.scheduler.pulls_delivered, 0);
+  const RunResult second = MustRun(config);
+  EXPECT_EQ(first.total_weighted_divergence, second.total_weighted_divergence);
+  EXPECT_EQ(first.scheduler.reads_total, second.scheduler.reads_total);
+  EXPECT_EQ(first.scheduler.pulls_delivered, second.scheduler.pulls_delivered);
+}
+
+TEST(TtlLeaseTest, ConsumesNoGeneratorRandomness) {
+  // The lease clock is the only protocol state: runs differing only in ttl
+  // draw the exact same update and read streams, so the read counts match
+  // and only the hit/miss split moves.
+  ExperimentConfig config = ReadConfig();
+  config.protocol.kind = SyncProtocolKind::kTtlLease;
+  config.protocol.ttl = 10.0;
+  const RunResult short_ttl = MustRun(config);
+  config.protocol.ttl = 100.0;
+  const RunResult long_ttl = MustRun(config);
+  EXPECT_EQ(short_ttl.scheduler.reads_total, long_ttl.scheduler.reads_total);
+  // A longer lease expires less: strictly fewer misses on this workload.
+  EXPECT_LT(long_ttl.scheduler.read_misses, short_ttl.scheduler.read_misses);
+}
+
+// ---------------------------------------------- thread-count independence
+
+TEST(ProtocolThreadingTest, JsonIsRunThreadCountInvariant) {
+  // All three protocols, serialized JSON byte-identical at run_threads
+  // 1 / 2 / 4 (the intra-run sharding axis, not the grid runner's).
+  for (const SyncProtocolKind kind :
+       {SyncProtocolKind::kPushRefresh, SyncProtocolKind::kInvalidation,
+        SyncProtocolKind::kTtlLease}) {
+    std::string baseline;
+    for (const int run_threads : {1, 2, 4}) {
+      std::vector<ExperimentJob> jobs(1);
+      jobs[0].name = SyncProtocolKindToString(kind);
+      jobs[0].config = ReadConfig();
+      jobs[0].config.protocol.kind = kind;
+      jobs[0].config.run_threads = run_threads;
+      const std::vector<JobResult> results = RunExperiments(jobs, RunnerOptions{});
+      ASSERT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+      std::ostringstream json;
+      WriteResultsJson(json, results);
+      if (run_threads == 1) {
+        baseline = json.str();
+      } else {
+        EXPECT_EQ(json.str(), baseline)
+            << SyncProtocolKindToString(kind) << " at run_threads=" << run_threads;
+      }
     }
   }
+}
+
+TEST(ProtocolThreadingTest, SweepJsonIsGridThreadCountInvariant) {
+  ProtocolSweepConfig sweep;
+  sweep.base = ReadConfig();
+  sweep.read_rates = {2.0, 8.0};
+  sweep.bandwidths = {6.0};
+  sweep.relay_tiers = {0};
+
+  sweep.threads = 1;
+  std::vector<JobResult> sequential;
+  ASSERT_TRUE(RunProtocolSweep(sweep, &sequential).ok());
+  sweep.threads = 8;
+  std::vector<JobResult> parallel;
+  ASSERT_TRUE(RunProtocolSweep(sweep, &parallel).ok());
+
+  std::ostringstream json_sequential, json_parallel;
+  WriteResultsJson(json_sequential, sequential);
+  WriteResultsJson(json_parallel, parallel);
+  EXPECT_EQ(json_sequential.str(), json_parallel.str());
+  // 2 rates x 1 bandwidth x 1 tier x 3 protocols.
+  EXPECT_EQ(sequential.size(), 6u);
 }
 
 }  // namespace

@@ -74,6 +74,8 @@ void ExpectIdenticalRuns(const RunResult& serial, const RunResult& sharded) {
   EXPECT_EQ(a.pull_units_delivered, b.pull_units_delivered);
   EXPECT_EQ(a.push_units_delivered, b.push_units_delivered);
   EXPECT_EQ(a.pull_bandwidth_share, b.pull_bandwidth_share);
+  EXPECT_EQ(a.invalidations_sent, b.invalidations_sent);
+  EXPECT_EQ(a.invalidations_received, b.invalidations_received);
 }
 
 /// Runs `config` at 1/2/4 shards and checks both sharded runs against the
@@ -147,6 +149,49 @@ TEST(ShardingTest, RelayTreeMatchesSerialExactly) {
   config.harness.seed = 3;
   config.cache_bandwidth_avg = 6.0;
   CheckThreadInvariance(config);
+}
+
+/// Many sources, so the send-phase shuffle is a long Fisher-Yates sequence:
+/// in sharded mode that shuffle now runs as the ShardPool prelude,
+/// overlapped with the workers' buffered emission compute, and must still
+/// land on the exact serial stream position (same draws, same order).
+TEST(ShardingTest, ManySourceOverlappedShuffleMatchesSerialExactly) {
+  ExperimentConfig config;
+  config.workload.num_sources = 24;
+  config.workload.objects_per_source = 6;
+  config.workload.num_caches = 4;
+  config.workload.interest_pattern = InterestPattern::kPartitionedBySource;
+  config.workload.seed = 41;
+  config.harness.warmup = 20.0;
+  config.harness.measure = 100.0;
+  config.harness.seed = 7;
+  config.cache_bandwidth_avg = 5.0;
+  config.source_bandwidth_avg = 2.0;
+  const RunResult serial = CheckThreadInvariance(config);
+  EXPECT_GT(serial.scheduler.refreshes_sent, 0);
+}
+
+/// The invalidation protocol's send phase (notification queues, batching,
+/// lazy tombstones) and validity-tracked read path must be thread-count
+/// invariant like the push phases they replace.
+TEST(ShardingTest, InvalidationProtocolMatchesSerialExactly) {
+  ExperimentConfig config;
+  config.workload.num_sources = 6;
+  config.workload.objects_per_source = 15;
+  config.workload.num_caches = 3;
+  config.workload.interest_pattern = InterestPattern::kPartitionedBySource;
+  config.workload.read.read_rate = 3.0;
+  config.workload.seed = 37;
+  config.harness.warmup = 20.0;
+  config.harness.measure = 100.0;
+  config.harness.seed = 5;
+  config.cache_bandwidth_avg = 6.0;
+  config.source_bandwidth_avg = 3.0;
+  config.loss_rate = 0.05;
+  config.protocol.kind = SyncProtocolKind::kInvalidation;
+  config.protocol.max_invalidate_batch = 4;
+  const RunResult serial = CheckThreadInvariance(config);
+  EXPECT_GT(serial.scheduler.invalidations_sent, 0);
 }
 
 /// Reads enabled with a binding capacity: miss-triggered pulls are served

@@ -46,7 +46,10 @@ TEST_P(StatsResetTest, SecondMeasurementStartZeroesAllCounters) {
                 after_run.polls_sent,
             0);
 
-  // ...and a fresh measurement start wipes every counter and queue stat.
+  // ...and a fresh measurement start wipes every counter and queue stat,
+  // including the relay / read-path / protocol counters added since (zero
+  // here because the config does not exercise them, but a reset that
+  // skipped one would leak the previous run's value on a reused scheduler).
   scheduler->OnMeasurementStart(harness.now());
   const SchedulerStats reset = scheduler->stats();
   EXPECT_EQ(reset.refreshes_sent, 0);
@@ -55,6 +58,53 @@ TEST_P(StatsResetTest, SecondMeasurementStartZeroesAllCounters) {
   EXPECT_EQ(reset.polls_sent, 0);
   EXPECT_EQ(reset.cache_utilization, 0.0);
   EXPECT_EQ(reset.avg_cache_queue, 0.0);
+  EXPECT_EQ(reset.relays_forwarded, 0);
+  EXPECT_EQ(reset.relay_control_moved, 0);
+  EXPECT_EQ(reset.reads_total, 0);
+  EXPECT_EQ(reset.read_hits, 0);
+  EXPECT_EQ(reset.read_misses, 0);
+  EXPECT_EQ(reset.pull_requests_sent, 0);
+  EXPECT_EQ(reset.pulls_delivered, 0);
+  EXPECT_EQ(reset.cache_evictions, 0);
+  EXPECT_EQ(reset.pull_units_delivered, 0);
+  EXPECT_EQ(reset.push_units_delivered, 0);
+  EXPECT_EQ(reset.invalidations_sent, 0);
+  EXPECT_EQ(reset.invalidations_received, 0);
+}
+
+TEST(StatsResetProtocolTest, ReusedCooperativeSchedulerZeroesProtocolCounters) {
+  // Drive every counter family at once — reads with a binding capacity, a
+  // relay tier, the invalidation protocol — then start a fresh measurement
+  // window on the *same* scheduler instance and demand a clean slate.
+  ExperimentConfig config = BaseConfig(SchedulerKind::kCooperative);
+  config.workload.num_caches = 2;
+  config.workload.interest_pattern = InterestPattern::kPartitionedBySource;
+  config.workload.read.read_rate = 4.0;
+  config.workload.relay_tiers = 1;
+  config.protocol.kind = SyncProtocolKind::kInvalidation;
+  const Workload workload = std::move(MakeWorkload(config.workload)).ValueOrDie();
+  const auto metric = MakeMetric(config.metric);
+  const auto scheduler = MakeScheduler(config);
+  Harness harness(&workload, metric.get(), config.harness);
+  ASSERT_TRUE(harness.Run(scheduler.get()).ok());
+
+  const SchedulerStats after_run = scheduler->stats();
+  EXPECT_GT(after_run.reads_total, 0);
+  EXPECT_GT(after_run.pulls_delivered, 0);
+  EXPECT_GT(after_run.invalidations_sent, 0);
+  EXPECT_GT(after_run.invalidations_received, 0);
+  EXPECT_GT(after_run.relays_forwarded, 0);
+
+  scheduler->OnMeasurementStart(harness.now());
+  const SchedulerStats reset = scheduler->stats();
+  EXPECT_EQ(reset.reads_total, 0);
+  EXPECT_EQ(reset.read_hits, 0);
+  EXPECT_EQ(reset.read_misses, 0);
+  EXPECT_EQ(reset.pull_requests_sent, 0);
+  EXPECT_EQ(reset.pulls_delivered, 0);
+  EXPECT_EQ(reset.relays_forwarded, 0);
+  EXPECT_EQ(reset.invalidations_sent, 0);
+  EXPECT_EQ(reset.invalidations_received, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchedulers, StatsResetTest,

@@ -199,6 +199,46 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_GT(differing, 60);
 }
 
+TEST(RngTest, SplitIsDeterministicAndDoesNotAdvanceParent) {
+  // Split is the shard-stream derivation: a pure function of (parent
+  // state, key) that leaves the parent's stream untouched, so shards can
+  // draw their streams without perturbing the main-thread sequence.
+  Rng parent(42);
+  Rng probe(42);
+  Rng child_a = parent.Split(3);
+  Rng child_a2 = parent.Split(3);
+  Rng child_b = parent.Split(4);
+  // Same key twice: identical child stream.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(child_a.NextUint64(), child_a2.NextUint64());
+  }
+  // Different keys: different streams.
+  int differing = 0;
+  Rng child_b_probe = probe.Split(3);
+  for (int i = 0; i < 64; ++i) {
+    differing += child_b.NextUint64() != child_b_probe.NextUint64();
+  }
+  EXPECT_GT(differing, 60);
+  // The parent's own stream is exactly where an un-split copy's is.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(parent.NextUint64(), probe.NextUint64());
+  }
+}
+
+TEST(RngTest, SplitDependsOnParentState) {
+  // Two parents with different states must derive different children for
+  // the same key (the derivation folds the full state, not just the key).
+  Rng a(1);
+  Rng b(2);
+  Rng child_a = a.Split(7);
+  Rng child_b = b.Split(7);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    differing += child_a.NextUint64() != child_b.NextUint64();
+  }
+  EXPECT_GT(differing, 60);
+}
+
 TEST(RngTest, ShufflePermutes) {
   Rng rng(8);
   std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Records the bench trajectory baselines (BENCH_readpath.json,
-BENCH_scale.json).
+"""Records the bench trajectory baselines (BENCH_protocol.json,
+BENCH_readpath.json, BENCH_scale.json).
 
 Runs the benches of each baseline profile from a build directory with
 --json, validates each output against the besync.run_results.v1 schema,
@@ -33,6 +33,9 @@ BASELINE_SCHEMA = "besync.bench_baseline.v1"
 # BENCH_scale.json records the bench_scale default (small) grid, not the
 # --full 1M-object trajectory.
 PROFILES = {
+    "BENCH_protocol.json": {
+        "bench_protocol": [],
+    },
     "BENCH_readpath.json": {
         "bench_readpath": [],
         "bench_multicache": [],
@@ -59,6 +62,11 @@ READ_RESULT_KEYS = {
     "read_staleness_p95", "read_staleness_p99", "read_miss_latency_mean",
     "pull_bandwidth_share",
 }
+# Fields non-push-refresh consistency-protocol rows additionally carry.
+PROTOCOL_RESULT_KEYS = {
+    "protocol", "ttl", "invalidate_batch", "invalidations_sent",
+    "invalidations_received",
+}
 
 
 def fail(message):
@@ -84,6 +92,48 @@ def validate_run_results(doc, context):
         if extra_read and extra_read != READ_RESULT_KEYS:
             fail(f"{context}: result {i} carries a partial read-field set "
                  f"{sorted(extra_read)}")
+        extra_protocol = row.keys() & PROTOCOL_RESULT_KEYS
+        if extra_protocol and extra_protocol != PROTOCOL_RESULT_KEYS:
+            fail(f"{context}: result {i} carries a partial protocol-field "
+                 f"set {sorted(extra_protocol)}")
+
+
+def parse_point_name(name):
+    """'proto=invalidation,rate=4,bw=12,tiers=0' -> dict of the axes."""
+    point = {}
+    for part in name.split(","):
+        key, _, value = part.partition("=")
+        point[key] = value
+    return point
+
+
+def check_protocol_crossover(results, context):
+    """The acceptance bar for BENCH_protocol.json: on at least one recorded
+    metric (total divergence or read-staleness p95) invalidation must beat
+    push refresh in some regime AND lose to it in some other regime — a real
+    crossover, not uniform dominance."""
+    regimes = {}
+    for row in results:
+        point = parse_point_name(row["name"])
+        regime = (point.get("rate"), point.get("bw"), point.get("tiers"))
+        regimes.setdefault(regime, {})[
+            point.get("proto", "push-refresh")] = row
+    for metric in ("total_weighted_divergence", "read_staleness_p95"):
+        inval_wins = push_wins = False
+        for competitors in regimes.values():
+            push = competitors.get("push-refresh")
+            inval = competitors.get("invalidation")
+            if push is None or inval is None:
+                continue
+            if inval[metric] < push[metric]:
+                inval_wins = True
+            if push[metric] < inval[metric]:
+                push_wins = True
+        if inval_wins and push_wins:
+            return
+    fail(f"{context}: no protocol crossover — neither total divergence nor "
+         f"read-staleness p95 has regimes won by both push refresh and "
+         f"invalidation")
 
 
 def validate_baseline(doc, context, profile):
@@ -103,6 +153,14 @@ def validate_baseline(doc, context, profile):
         readpath = benches["bench_readpath"]
         if not any("hit_rate" in row for row in readpath["results"]):
             fail(f"{context}: bench_readpath recorded no read-enabled rows")
+    if profile == "BENCH_protocol.json":
+        # The point of this baseline is the crossover: every protocol row is
+        # read-enabled, and the push-vs-invalidation comparison must flip
+        # somewhere in the recorded grid.
+        protocol = benches["bench_protocol"]
+        if not any("protocol" in row for row in protocol["results"]):
+            fail(f"{context}: bench_protocol recorded no protocol rows")
+        check_protocol_crossover(protocol["results"], context)
     if profile == "BENCH_scale.json":
         # The recorded grid must stay a trajectory, not a single point, and
         # must never carry the nondeterministic perf member.
