@@ -115,6 +115,24 @@ struct SchedulerStats {
   /// and k times there; lossy links make received < applied-for).
   int64_t invalidations_sent = 0;
   int64_t invalidations_received = 0;
+  /// Fault-injection / recovery stats (all zero on an empty fault
+  /// schedule). Event counts are applications within the measurement
+  /// window; resync_deliveries counts refreshes that closed part of a
+  /// crashed cache's outstanding set; resync_pending is the number of
+  /// replicas still awaiting their post-restart refill at run end;
+  /// time_to_resync_* summarize restart-to-fully-refilled durations over
+  /// the completed resync episodes; crash_dropped_pulls counts in-flight
+  /// pulls cancelled because their cache died before the response landed.
+  int64_t cache_crashes = 0;
+  int64_t cache_restarts = 0;
+  int64_t relay_failures = 0;
+  int64_t link_down_events = 0;
+  int64_t slowdown_events = 0;
+  int64_t crash_dropped_pulls = 0;
+  int64_t resync_deliveries = 0;
+  int64_t resync_pending = 0;
+  double time_to_resync_mean = 0.0;
+  double time_to_resync_p95 = 0.0;
 };
 
 /// Scheduler interface: a refresh-scheduling strategy driven by the Harness.

@@ -72,6 +72,18 @@ int64_t RelayAgent::Forward(double now,
   return sent;
 }
 
+std::vector<Message> RelayAgent::TakeStored() {
+  // ready_ messages arrived before anything still in pending_, so ready_
+  // then pending_ is arrival order.
+  std::vector<Message> taken;
+  taken.reserve(ready_.size() + pending_.size());
+  for (Stored& stored : ready_) taken.push_back(std::move(stored.message));
+  for (Stored& stored : pending_) taken.push_back(std::move(stored.message));
+  ready_.clear();
+  pending_.clear();
+  return taken;
+}
+
 void RelayAgent::ResetCounters() {
   received_ = 0;
   forwarded_ = 0;

@@ -72,6 +72,11 @@ class RelayAgent {
   /// Resets statistics counters (measurement start). Stored messages stay.
   void ResetCounters();
 
+  /// Removes and returns everything in the store (pending + ready) in
+  /// arrival (seq) order — relay failover: the scheduler re-routes or drops
+  /// the stranded refreshes per policy. Statistics are untouched.
+  std::vector<Message> TakeStored();
+
  private:
   struct Stored {
     Message message;

@@ -400,6 +400,81 @@ Message SourceAgent::ServePull(ObjectIndex index, int32_t cache_id, double now) 
   return message;
 }
 
+void SourceAgent::OnCacheRestart(int32_t cache_id, double now,
+                                 RecoveryPolicy policy,
+                                 std::vector<ObjectIndex>* resynced) {
+  Channel* channel = nullptr;
+  for (Channel& candidate : channels_) {
+    if (candidate.cache_id == cache_id) {
+      channel = &candidate;
+      break;
+    }
+  }
+  if (channel == nullptr) return;  // no objects at that cache
+  const bool priority_recovery = policy == RecoveryPolicy::kRecoveryPriority;
+  // A re-crash during an unfinished recovery supersedes it: the FIFO is
+  // rebuilt from scratch (each replica appears once).
+  if (priority_recovery) channel->recovery_queue.clear();
+  for (int32_t slot = 0; slot < channel->num_members; ++slot) {
+    const ObjectIndex index = channel->members[slot];
+    resynced->push_back(index);
+    if (channel->invalid_state != nullptr) {
+      // The crash is the notification: the restarted cache knows it holds
+      // nothing valid, so the source's replica model moves to "notified" —
+      // further updates are free until a refill closes the episode.
+      channel->invalid_state[slot] = kInvalidateSent;
+    }
+    if (priority_recovery) {
+      channel->recovery_queue.push_back(slot);
+      continue;
+    }
+    // Naive re-enqueue: the replica rejoins the threshold machinery at its
+    // current (pre-crash, still-accruing) priority. Invalidation / TTL
+    // sources push nothing — those replicas refill through demand pulls.
+    if (!push_protocol()) continue;
+    LocalState& state = channel->locals[slot];
+    ++state.epoch;
+    if (policy_->time_varying()) {
+      PushWake(channel, index, now);
+      continue;
+    }
+    channel->queue.Push(ChannelPriority(*channel, index, now), index, state.epoch);
+    if (secondary_enabled_) {
+      channel->secondary_queue.Push(ChannelSourcePriority(*channel, index, now),
+                                    index, state.epoch);
+    }
+  }
+  if (!priority_recovery && push_protocol() && !policy_->time_varying()) {
+    MaybeCompact(channel);
+  }
+}
+
+int64_t SourceAgent::SendRecovery(double now, Link* source_link, Link* cache_link,
+                                  int channel_index) {
+  BESYNC_DCHECK(channel_index >= 0 && channel_index < num_channels());
+  Channel* channel = &channels_[channel_index];
+  const EmitSink sink{cache_link, nullptr};
+  int64_t sent = 0;
+  while (!channel->recovery_queue.empty()) {
+    const int32_t slot = channel->recovery_queue.front();
+    const ObjectIndex index = channel->members[slot];
+    const int64_t cost = harness_->object(index).spec->refresh_cost;
+    if (!source_link->TryConsumeAllowingDeficit(cost)) break;
+    channel->recovery_queue.pop_front();
+    EmitRefresh(channel, index, now, sink, /*bump_threshold=*/false,
+                std::numeric_limits<double>::infinity());
+    // The refill closes the invalidation episode, exactly like a pull.
+    if (channel->invalid_state != nullptr) {
+      channel->invalid_state[slot] = kReplicaFresh;
+    }
+    // EmitRefresh's epoch bump killed the object's armed wake-up; re-arm
+    // from the new t_last (time-varying policies only).
+    if (push_protocol() && policy_->time_varying()) PushWake(channel, index, now);
+    ++sent;
+  }
+  return sent;
+}
+
 void SourceAgent::EmitBatch(Channel* channel, const std::vector<QueueEntry>& batch,
                             double now, const EmitSink& sink) {
   BESYNC_DCHECK(!batch.empty());

@@ -7,6 +7,7 @@
 
 #include "core/harness.h"
 #include "core/threshold.h"
+#include "fault/fault_schedule.h"
 #include "net/link.h"
 #include "priority/history.h"
 #include "priority/priority.h"
@@ -162,6 +163,34 @@ class SourceAgent {
   int64_t SendSecondary(double now, int64_t max_count, Link* source_link,
                         Link* cache_link, int channel = 0);
 
+  /// Fault hook: cache `cache_id` restarted empty at `now`; every replica
+  /// this source keeps there must be re-shipped. Appends the affected
+  /// object indices to `resynced` (the scheduler's outstanding-resync set).
+  /// Under kNaiveReenqueue the replicas simply rejoin the normal threshold
+  /// machinery at their current priorities — they wait their turn behind
+  /// ordinary refresh traffic, and low-priority replicas may never be
+  /// re-pushed at all. Under kRecoveryPriority they enter a dedicated
+  /// recovery FIFO drained by SendRecovery ahead of the send phase.
+  /// Invalidation sources additionally mark the replicas notified (the
+  /// crash told the cache everything it holds is gone). No-op when the
+  /// source has no objects at the cache.
+  void OnCacheRestart(int32_t cache_id, double now, RecoveryPolicy policy,
+                      std::vector<ObjectIndex>* resynced);
+
+  /// Recovery send phase (kRecoveryPriority): emits one refresh per queued
+  /// replica of channel `channel`'s recovery FIFO while the shared source
+  /// link grants budget, at infinite forward priority (relays move resync
+  /// traffic like demand pulls). No threshold bumping — recovery traffic
+  /// must not inflate T_{j,c}. Returns the number sent. Runs for every
+  /// protocol: recovery is a server-initiated fill even when steady-state
+  /// refreshes are pull-only.
+  int64_t SendRecovery(double now, Link* source_link, Link* cache_link,
+                       int channel = 0);
+  /// Replicas still awaiting a recovery refresh on channel `k`.
+  size_t recovery_queue_size(int k = 0) const {
+    return channels_[k].recovery_queue.size();
+  }
+
   /// Serves a miss-triggered pull of `index` toward `cache_id` (read path):
   /// performs the same per-object bookkeeping as a push emission — tracker
   /// reset via MakeRefreshMessage, history/sampling updates, and an epoch
@@ -245,6 +274,9 @@ class SourceAgent {
     /// (a pull refilled the replica first) die lazily at send time.
     uint8_t* invalid_state = nullptr;
     std::deque<int32_t> invalidate_queue;
+    /// Channel slots awaiting a recovery refresh after the cache crashed
+    /// (RecoveryPolicy::kRecoveryPriority only; drained by SendRecovery).
+    std::deque<int32_t> recovery_queue;
   };
 
   /// Inlined epoch resolver over a channel's local-state table. A plain

@@ -62,22 +62,26 @@ void CooperativeScheduler::Initialize(Harness* harness) {
 
   sources_by_cache_ = SourcesByCache(workload);
   sources_by_cache_.resize(static_cast<size_t>(num_caches));
+  RebuildSourcesByNode();
 
-  // Per-node interested sources: a relay's list is the sorted union over
-  // its subtree's leaves (built leaves-upward so each child is final before
-  // its parent merges it).
-  sources_by_node_.assign(static_cast<size_t>(network_->num_nodes()), {});
-  for (int c = 0; c < num_caches; ++c) sources_by_node_[c] = sources_by_cache_[c];
-  for (int32_t relay_node : topology.flat() ? std::vector<int32_t>{}
-                                            : topology.RelaysBottomUp()) {
-    std::vector<int32_t>& merged = sources_by_node_[relay_node];
-    for (int32_t child : network_->children(relay_node)) {
-      std::vector<int32_t> combined;
-      std::set_union(merged.begin(), merged.end(), sources_by_node_[child].begin(),
-                     sources_by_node_[child].end(), std::back_inserter(combined));
-      merged = std::move(combined);
-    }
+  // The effective fault schedule: the config's wins over the workload's
+  // (mirroring the topology rule); empty keeps every fault hook cold.
+  const FaultSchedule& faults =
+      !config_.faults.empty() ? config_.faults : workload.faults;
+  fault_events_ = faults.Sorted();
+  fault_cursor_ = 0;
+  cache_down_.clear();
+  resync_.clear();
+  if (!fault_events_.empty()) {
+    const Status fault_status = faults.Validate(topology, num_caches);
+    BESYNC_CHECK(fault_status.ok()) << fault_status.ToString();
+    cache_down_.assign(static_cast<size_t>(num_caches), 0);
+    resync_.assign(static_cast<size_t>(num_caches), ResyncState{});
   }
+  cache_crashes_ = cache_restarts_ = relay_failures_ = 0;
+  link_down_events_ = slowdown_events_ = 0;
+  resync_deliveries_ = 0;
+  resync_digest_.Reset();
 
   // The paper's P_feedback estimate, per cache: sources interested in the
   // cache / the cache's average bandwidth. Floored at one tick: feedback is
@@ -128,9 +132,17 @@ void CooperativeScheduler::Initialize(Harness* harness) {
 
   // The client read side: per-cache streams, stores and pull bookkeeping.
   // Inert — no RNG created, no stream state — unless the workload
-  // configures reads, a finite tier capacity, or a validity-tracking
-  // protocol (invalidation / TTL state lives next to residency).
-  read_path_.Initialize(harness, num_caches, protocol_.get());
+  // configures reads, a finite tier capacity, a validity-tracking
+  // protocol (invalidation / TTL state lives next to residency), or a
+  // fault schedule with cache crashes (crashes flow through the stores).
+  bool has_cache_faults = false;
+  for (const FaultEvent& event : fault_events_) {
+    if (event.kind == FaultEventKind::kCacheCrash) {
+      has_cache_faults = true;
+      break;
+    }
+  }
+  read_path_.Initialize(harness, num_caches, protocol_.get(), has_cache_faults);
 
   // Intra-run sharding team. The sharded phases are bitwise identical to
   // the sequential ones (see SendPhaseSharded / CollectDeliveriesSharded),
@@ -286,13 +298,24 @@ void CooperativeScheduler::RelayPhase(double t) {
     agent.Forward(
         t, [egress](int64_t cost) { return egress->TryConsumeAllowingDeficit(cost); },
         [&](const Message& message) {
-          network_->edge_link(network_->NextHop(node, message.cache_id))
-              .Enqueue(message);
+          const int32_t hop = network_->TryNextHop(node, message.cache_id);
+          if (hop >= 0) {
+            network_->edge_link(hop).Enqueue(message);
+            return;
+          }
+          // A failover re-homed this leaf while the message sat here (e.g.
+          // its old parent recovered), so this relay no longer routes to
+          // it. Restart the journey at the leaf's current tier-1 edge.
+          network_->first_hop_link(message.cache_id).Enqueue(message);
         });
   }
 }
 
 void CooperativeScheduler::Tick(double t) {
+  // 0. Scripted faults due by now fire before the links begin the tick, so
+  //    a link partitioned at t has zero budget for the whole tick.
+  ApplyDueFaults(t);
+
   const double tick = harness_->config().tick_length;
   network_->BeginTick(t, tick, shard_pool_.get());
 
@@ -312,6 +335,14 @@ void CooperativeScheduler::Tick(double t) {
         }
       }
     }
+  }
+
+  // 1b. Recovery refreshes for restarted caches (kRecoveryPriority) go out
+  //     ahead of the regular send phase: the cold cache's refill spends the
+  //     source budgets first, deferring ordinary pushes.
+  if (!fault_events_.empty() &&
+      config_.recovery_policy == RecoveryPolicy::kRecoveryPriority) {
+    RecoveryPhase(t);
   }
 
   // 2. Sources emit into the tier-1 edges of their target caches: refreshes
@@ -341,6 +372,13 @@ void CooperativeScheduler::Tick(double t) {
       CacheAgent* cache = caches_[c].get();
       if (cache == nullptr) continue;
       std::vector<Message>& collected = deliver_buffers_[c];
+      if (!cache_down_.empty() && cache_down_[c] != 0) {
+        // Crashed cache: the wire delivered (budget and loss accounting
+        // already happened in the collect half) but the process is gone.
+        collected.clear();
+        continue;
+      }
+      const bool track_resync = !resync_.empty() && resync_[c].open;
       for (const Message& message : collected) {
         if (message.kind == MessageKind::kInvalidate) {
           read_path_.OnInvalidateDelivered(message, t);
@@ -348,6 +386,7 @@ void CooperativeScheduler::Tick(double t) {
           harness_->DeliverRefresh(message, t);
           cache->RecordRefresh(message, t);
           if (reads) read_path_.OnRefreshDelivered(message, t);
+          if (track_resync) NoteResyncDelivery(c, message, t);
         }
       }
       collected.clear();
@@ -356,6 +395,13 @@ void CooperativeScheduler::Tick(double t) {
     for (int c = 0; c < num_caches(); ++c) {
       CacheAgent* cache = caches_[c].get();
       if (cache == nullptr) continue;
+      if (!cache_down_.empty() && cache_down_[c] != 0) {
+        // Crashed cache: the wire still delivers (budget spent, loss drawn,
+        // delivery counted) but every message is lost at the dead process.
+        network_->cache_link(c).DeliverQueued([](const Message&) {});
+        continue;
+      }
+      const bool track_resync = !resync_.empty() && resync_[c].open;
       network_->cache_link(c).DeliverQueued([&](const Message& message) {
         if (message.kind == MessageKind::kInvalidate) {
           read_path_.OnInvalidateDelivered(message, t);
@@ -363,6 +409,7 @@ void CooperativeScheduler::Tick(double t) {
           harness_->DeliverRefresh(message, t);
           cache->RecordRefresh(message, t);
           if (reads) read_path_.OnRefreshDelivered(message, t);
+          if (track_resync) NoteResyncDelivery(c, message, t);
         }
       });
     }
@@ -385,6 +432,8 @@ void CooperativeScheduler::Tick(double t) {
   for (int c = 0; c < num_caches(); ++c) {
     CacheAgent* cache = caches_[c].get();
     if (cache == nullptr) continue;
+    // A dead process sends no feedback.
+    if (!cache_down_.empty() && cache_down_[c] != 0) continue;
     const int64_t surplus = network_->cache_link(c).remaining_budget();
     if (surplus <= 0) continue;
     const std::vector<int> targets = cache->SelectFeedbackTargets(surplus, t);
@@ -402,6 +451,157 @@ void CooperativeScheduler::Tick(double t) {
   }
 }
 
+void CooperativeScheduler::RebuildSourcesByNode() {
+  // Per-node interested sources: a relay's list is the sorted union over
+  // its (live) subtree's leaves. Built children-before-parents — the
+  // reverse of the downstream order — so each child is final before its
+  // parent merges it; a dead relay keeps an empty list and is skipped by
+  // the control pump anyway.
+  sources_by_node_.assign(static_cast<size_t>(network_->num_nodes()), {});
+  for (int c = 0; c < network_->num_caches(); ++c) {
+    sources_by_node_[c] = sources_by_cache_[c];
+  }
+  const std::vector<int32_t>& downstream = network_->downstream_relays();
+  for (auto it = downstream.rbegin(); it != downstream.rend(); ++it) {
+    std::vector<int32_t>& merged = sources_by_node_[*it];
+    for (int32_t child : network_->children(*it)) {
+      std::vector<int32_t> combined;
+      std::set_union(merged.begin(), merged.end(), sources_by_node_[child].begin(),
+                     sources_by_node_[child].end(), std::back_inserter(combined));
+      merged = std::move(combined);
+    }
+  }
+}
+
+void CooperativeScheduler::ApplyDueFaults(double t) {
+  while (fault_cursor_ < fault_events_.size() &&
+         fault_events_[fault_cursor_].time <= t) {
+    ApplyFaultEvent(fault_events_[fault_cursor_], t);
+    ++fault_cursor_;
+  }
+}
+
+void CooperativeScheduler::ApplyFaultEvent(const FaultEvent& event, double t) {
+  switch (event.kind) {
+    case FaultEventKind::kCacheCrash: {
+      const int c = event.node;
+      if (cache_down_[c] != 0) return;  // already down
+      cache_down_[c] = 1;
+      ++cache_crashes_;
+      read_path_.OnCacheCrash(c, t);
+      // A crash mid-recovery abandons the episode (its duration is never
+      // recorded); the next restart opens a fresh one.
+      resync_[c].open = false;
+      resync_[c].remaining = 0;
+      return;
+    }
+    case FaultEventKind::kCacheRestart: {
+      const int c = event.node;
+      if (cache_down_[c] == 0) return;  // never crashed / already back
+      cache_down_[c] = 0;
+      ++cache_restarts_;
+      read_path_.OnCacheRestart(c);
+      // Every source re-ships (or at least re-tracks) its replicas at the
+      // cold cache; the union is this restart's outstanding set.
+      resync_scratch_.clear();
+      for (auto& source : sources_) {
+        source->OnCacheRestart(c, t, config_.recovery_policy, &resync_scratch_);
+      }
+      ResyncState& resync = resync_[c];
+      if (resync.outstanding.empty()) {
+        resync.outstanding.assign(harness_->workload().objects.size(), 0);
+      } else {
+        std::fill(resync.outstanding.begin(), resync.outstanding.end(), 0);
+      }
+      resync.remaining = 0;
+      for (ObjectIndex index : resync_scratch_) {
+        if (resync.outstanding[index] == 0) {
+          resync.outstanding[index] = 1;
+          ++resync.remaining;
+        }
+      }
+      resync.start = t;
+      resync.open = resync.remaining > 0;
+      return;
+    }
+    case FaultEventKind::kRelayFail: {
+      const int32_t node = event.node;
+      if (!network_->relay_alive(node)) return;
+      ++relay_failures_;
+      // Everything the relay held: its store (received, not forwarded yet)
+      // and its ingress queue (in flight toward it).
+      std::vector<Message> stranded = relay(node).TakeStored();
+      std::vector<Message> queued = network_->edge_link(node).TakeQueue();
+      network_->FailRelay(node);  // reroute + control-mail re-deposit
+      if (config_.relay_store_policy == RelayStorePolicy::kDrain) {
+        // Re-enter the tree at each message's (new) first hop, behind that
+        // edge's existing backlog; under kDrop they die with the relay.
+        for (Message& message : stranded) {
+          network_->first_hop_link(message.cache_id).Enqueue(std::move(message));
+        }
+        for (Message& message : queued) {
+          network_->first_hop_link(message.cache_id).Enqueue(std::move(message));
+        }
+      }
+      RebuildSourcesByNode();
+      return;
+    }
+    case FaultEventKind::kRelayRecover:
+      if (network_->relay_alive(event.node)) return;
+      network_->RecoverRelay(event.node);
+      RebuildSourcesByNode();
+      return;
+    case FaultEventKind::kLinkDown:
+      if (!network_->cache_link(event.node).is_down()) ++link_down_events_;
+      network_->cache_link(event.node).SetDown(true);
+      return;
+    case FaultEventKind::kLinkUp:
+      network_->cache_link(event.node).SetDown(false);
+      return;
+    case FaultEventKind::kSlowDown:
+      ++slowdown_events_;
+      network_->cache_link(event.node).SetBandwidthFactor(event.factor);
+      return;
+    case FaultEventKind::kSlowRecover:
+      network_->cache_link(event.node).SetBandwidthFactor(1.0);
+      return;
+  }
+}
+
+void CooperativeScheduler::RecoveryPhase(double t) {
+  for (size_t j = 0; j < sources_.size(); ++j) {
+    SourceAgent& agent = *sources_[j];
+    Link* source_link = &network_->source_link(static_cast<int>(j));
+    for (int k = 0; k < agent.num_channels(); ++k) {
+      if (agent.recovery_queue_size(k) == 0) continue;
+      const int32_t c = agent.channel_cache_id(k);
+      // Re-crashed before the refill finished: hold the queue (the next
+      // restart rebuilds it anyway) instead of shipping into a dead node.
+      if (cache_down_[c] != 0) continue;
+      agent.SendRecovery(t, source_link, &network_->first_hop_link(c), k);
+    }
+  }
+}
+
+void CooperativeScheduler::NoteResyncDelivery(int c, const Message& message,
+                                              double t) {
+  ResyncState& resync = resync_[c];
+  const auto note = [&](ObjectIndex index) {
+    if (resync.outstanding[index] == 0) return;
+    resync.outstanding[index] = 0;
+    --resync.remaining;
+    ++resync_deliveries_;
+  };
+  note(message.object_index);
+  for (const RefreshPayload& payload : message.extra_refreshes) {
+    note(payload.object_index);
+  }
+  if (resync.remaining == 0) {
+    resync.open = false;
+    resync_digest_.Add(t - resync.start);
+  }
+}
+
 void CooperativeScheduler::OnMeasurementStart(double /*t*/) {
   network_->ResetStats();
   for (auto& cache : caches_) {
@@ -411,6 +611,13 @@ void CooperativeScheduler::OnMeasurementStart(double /*t*/) {
   for (auto& relay : relays_) relay->ResetCounters();
   relay_control_moved_ = 0;
   read_path_.OnMeasurementStart();
+  // Fault/recovery counters re-zero like everything else; an episode still
+  // open at the boundary stays open (it closes — and is recorded — inside
+  // the window).
+  cache_crashes_ = cache_restarts_ = relay_failures_ = 0;
+  link_down_events_ = slowdown_events_ = 0;
+  resync_deliveries_ = 0;
+  resync_digest_.Reset();
 }
 
 void CooperativeScheduler::ServePull(const Message& request, double t) {
@@ -504,6 +711,22 @@ SchedulerStats CooperativeScheduler::stats() const {
         total_units > 0 ? static_cast<double>(stats.pull_units_delivered) /
                               static_cast<double>(total_units)
                         : 0.0;
+  }
+  stats.cache_crashes = cache_crashes_;
+  stats.cache_restarts = cache_restarts_;
+  stats.relay_failures = relay_failures_;
+  stats.link_down_events = link_down_events_;
+  stats.slowdown_events = slowdown_events_;
+  if (read_path_.enabled()) {
+    stats.crash_dropped_pulls = read_path_.crash_dropped_pulls();
+  }
+  stats.resync_deliveries = resync_deliveries_;
+  for (const ResyncState& resync : resync_) {
+    if (resync.open) stats.resync_pending += resync.remaining;
+  }
+  if (!resync_digest_.empty()) {
+    stats.time_to_resync_mean = resync_digest_.mean();
+    stats.time_to_resync_p95 = resync_digest_.Quantile(0.95);
   }
   return stats;
 }

@@ -9,10 +9,12 @@
 #include "core/harness.h"
 #include "core/relay.h"
 #include "core/source.h"
+#include "fault/fault_schedule.h"
 #include "net/network.h"
 #include "priority/priority.h"
 #include "protocol/sync_protocol.h"
 #include "read/read_path.h"
+#include "util/quantile.h"
 #include "util/result.h"
 #include "util/shard_pool.h"
 
@@ -63,6 +65,18 @@ struct CooperativeConfig {
   /// rules and disable surplus feedback; reads of invalid/expired replicas
   /// miss and pull.
   SyncProtocolConfig protocol;
+  /// Scripted fault schedule (src/fault/): cache crash/restart, relay
+  /// failover, link partitions, slowdowns. Empty (the default) keeps every
+  /// fault hook cold — bitwise identical to the fault-free engine. A
+  /// non-empty schedule here wins over the workload's; either must validate
+  /// against the run's topology.
+  FaultSchedule faults;
+  /// How sources re-ship a restarted cache's replicas: re-enqueue into the
+  /// normal threshold machinery, or a dedicated recovery channel drained
+  /// ahead of the send phase.
+  RecoveryPolicy recovery_policy = RecoveryPolicy::kNaiveReenqueue;
+  /// Fate of the refreshes stored at (and queued toward) a failed relay.
+  RelayStorePolicy relay_store_policy = RelayStorePolicy::kDrop;
   /// Intra-run worker threads for the sharded tick phases (send-phase
   /// emission and per-cache delivery collection). 1 (default) runs the
   /// historical sequential path; N > 1 partitions sources and caches across
@@ -114,6 +128,10 @@ class CooperativeScheduler : public Scheduler {
   /// The client read subsystem (inert unless the workload configures reads
   /// or a finite capacity — see read/read_path.h).
   const ReadPath& read_path() const { return read_path_; }
+  /// True while leaf cache `c` is crashed (fault injection).
+  bool cache_down(int c) const {
+    return !cache_down_.empty() && cache_down_[c] != 0;
+  }
 
  protected:
   /// Hook for subclasses to decorate outgoing feedback (competitive rate
@@ -154,6 +172,27 @@ class CooperativeScheduler : public Scheduler {
   /// toward their leaf under its egress budget. No-op on flat topologies.
   void RelayPhase(double t);
 
+  /// Applies every scheduled fault event with time <= t, in schedule order.
+  /// Runs at the top of the tick, before the links begin theirs — a link
+  /// partitioned at t has zero budget for the whole tick containing t.
+  /// No-op (and branch-only) when the schedule is empty.
+  void ApplyDueFaults(double t);
+  /// One fault event; dispatched by ApplyDueFaults.
+  void ApplyFaultEvent(const FaultEvent& event, double t);
+  /// Recovery send phase (RecoveryPolicy::kRecoveryPriority): sources in
+  /// ascending id order (no RNG — recovery must not perturb the scheduler
+  /// stream) drain their recovery FIFOs into the tier-1 edges under the
+  /// shared source budgets. Runs between the control drain and the send
+  /// phase, for every protocol: recovery is a server-initiated fill even
+  /// when steady-state refreshes are pull-only.
+  void RecoveryPhase(double t);
+  /// Marks resync-outstanding replicas of cache `c` delivered; closes the
+  /// episode (into the time-to-resync digest) when the last one lands.
+  void NoteResyncDelivery(int c, const Message& message, double t);
+  /// Rebuilds sources_by_node_ from the network's current (post-failover)
+  /// routing: a relay's list is the sorted union over its live subtree.
+  void RebuildSourcesByNode();
+
   /// Serves one miss-triggered pull request at its source: builds the
   /// refresh-shaped pull response (marked Message::is_pull, current
   /// threshold piggybacked), debts the source link by its cost, and
@@ -193,6 +232,38 @@ class CooperativeScheduler : public Scheduler {
   std::vector<std::vector<Message>> send_buffers_;
   /// Per-cache collected deliveries (sharded delivery), reused across ticks.
   std::vector<std::vector<Message>> deliver_buffers_;
+
+  // --- fault injection (all empty / zero on an empty schedule) ---
+
+  /// One crashed cache's outstanding post-restart refill: the replicas the
+  /// sources committed to (or may eventually) re-ship, cleared as
+  /// deliveries land. The episode closes when `remaining` hits zero.
+  struct ResyncState {
+    bool open = false;
+    double start = 0.0;
+    int64_t remaining = 0;
+    /// By global object index; sized lazily at the first restart.
+    std::vector<uint8_t> outstanding;
+  };
+
+  /// The effective schedule's events, time-sorted; empty = fault-free.
+  std::vector<FaultEvent> fault_events_;
+  size_t fault_cursor_ = 0;
+  /// Per leaf cache: 1 between kCacheCrash and kCacheRestart. Empty unless
+  /// the schedule is non-empty.
+  std::vector<uint8_t> cache_down_;
+  /// Per leaf cache; sized alongside cache_down_.
+  std::vector<ResyncState> resync_;
+  /// Scratch for collecting the sources' resynced object lists.
+  std::vector<ObjectIndex> resync_scratch_;
+  int64_t cache_crashes_ = 0;
+  int64_t cache_restarts_ = 0;
+  int64_t relay_failures_ = 0;
+  int64_t link_down_events_ = 0;
+  int64_t slowdown_events_ = 0;
+  int64_t resync_deliveries_ = 0;
+  /// Restart-to-fully-refilled durations of completed resync episodes.
+  QuantileDigest resync_digest_;
 };
 
 /// Scheduler-agnostic summary of one simulation run.

@@ -144,6 +144,38 @@ Status TopologySpec::Validate(int num_caches) const {
   if (relay_bandwidth_factor < 0.0) {
     return Status::InvalidArgument("relay_bandwidth_factor must be >= 0");
   }
+  if (static_cast<int>(backup_parent.size()) > nodes) {
+    return Status::InvalidArgument("backup_parent has more entries than topology nodes");
+  }
+  for (int n = 0; n < static_cast<int>(backup_parent.size()); ++n) {
+    const int32_t b = backup_parent[n];
+    if (b == -1) continue;
+    if (n < num_leaves) {
+      return Status::InvalidArgument("leaf ", n,
+                                     " declares a backup parent (leaves crash, "
+                                     "they do not fail over)");
+    }
+    if (b < num_leaves || b >= nodes) {
+      return Status::InvalidArgument("relay ", n, " has invalid backup parent ", b,
+                                     " (backups must be relay nodes)");
+    }
+    if (b == n) {
+      return Status::InvalidArgument("relay ", n, " is its own backup parent");
+    }
+    // The backup must sit outside the failing relay's subtree: re-attaching
+    // n's children to a descendant of n would route traffic in a loop once
+    // n is gone.
+    int32_t up = b;
+    int steps = 0;
+    while (up != -1) {
+      if (up == n) {
+        return Status::InvalidArgument("relay ", n, " has backup parent ", b,
+                                       " inside its own subtree");
+      }
+      if (++steps > nodes) break;  // cycles are reported by the walk above
+      up = parent[up];
+    }
+  }
   return Status::OK();
 }
 
@@ -172,6 +204,26 @@ TopologySpec MakeRelayTree(int num_leaves, int fanout, int relay_tiers) {
     tier = std::move(next);
   }
   return spec;
+}
+
+void AssignBackupParents(TopologySpec* spec) {
+  if (spec->flat()) return;
+  const std::vector<int> height = NodeHeights(*spec);
+  spec->backup_parent.assign(static_cast<size_t>(spec->num_nodes()), -1);
+  for (int r = spec->num_leaves; r < spec->num_nodes(); ++r) {
+    // Next relay of the same height, scanning ascending node ids with
+    // wrap-around — deterministic and sibling-preferring for the uniform
+    // trees MakeRelayTree builds.
+    const int relays = spec->num_relays();
+    for (int step = 1; step < relays; ++step) {
+      const int candidate =
+          spec->num_leaves + (r - spec->num_leaves + step) % relays;
+      if (height[candidate] == height[r]) {
+        spec->backup_parent[r] = static_cast<int32_t>(candidate);
+        break;
+      }
+    }
+  }
 }
 
 std::string TopologyLabel(const TopologySpec& spec) {

@@ -36,6 +36,12 @@ struct TopologySpec {
   /// Parent node of each node, -1 for tier-1 nodes (fed directly by the
   /// sources). Empty = flat topology (no relays, every leaf tier-1).
   std::vector<int32_t> parent;
+  /// Failover parent of each *relay* node: when relay r fails (fault
+  /// injection, fault/fault_schedule.h), r's children re-attach to
+  /// backup_parent[r]. -1 or a missing entry promotes the children to
+  /// tier-1 (source-fed) for the outage. Entries for leaf indexes must be
+  /// -1 (leaves never fail over — they crash). Empty = no backups declared.
+  std::vector<int32_t> backup_parent;
 
   /// Ingress-edge average bandwidth of node i (messages/second). <= 0 or
   /// missing = default: leaf edges take the scheduler's per-cache bandwidth
@@ -96,6 +102,13 @@ struct TopologySpec {
   /// ties by node id) — the downstream forwarding order.
   std::vector<int32_t> RelaysTopDown() const;
 
+  /// Failover parent of `node`, or -1 when none is declared (promote to
+  /// tier-1 on parent failure).
+  int32_t BackupParentOf(int node) const {
+    if (node < static_cast<int>(backup_parent.size())) return backup_parent[node];
+    return -1;
+  }
+
   /// Structural validation against a workload with `num_caches` caches.
   /// Flat specs are always valid.
   Status Validate(int num_caches) const;
@@ -107,6 +120,11 @@ struct TopologySpec {
 /// result is pass-through until the caller (or the scheduler's bandwidth
 /// resolution) assigns capacities.
 TopologySpec MakeRelayTree(int num_leaves, int fanout, int relay_tiers);
+
+/// Declares a default failover map on `spec`: each relay's backup is the
+/// next relay at the same height (wrapping), or -1 (promote children to
+/// tier-1) when it is the only relay of its tier. No-op on flat specs.
+void AssignBackupParents(TopologySpec* spec);
 
 /// "flat" or "tree(relays=R,depth=D)" — for job names and tables.
 std::string TopologyLabel(const TopologySpec& spec);

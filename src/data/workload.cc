@@ -65,6 +65,7 @@ Workload CloneWorkload(const Workload& workload) {
   for (const std::unique_ptr<ReadProcess>& stream : workload.read_streams) {
     clone.read_streams.push_back(stream != nullptr ? stream->Clone() : nullptr);
   }
+  clone.faults = workload.faults;  // plain data, copyable
   clone.objects.reserve(workload.objects.size());
   for (const ObjectSpec& spec : workload.objects) {
     clone.objects.push_back(CloneObjectSpec(spec));
@@ -162,6 +163,29 @@ Result<Workload> MakeWorkload(const WorkloadConfig& config) {
   if (config.read.pull_retry_interval <= 0.0) {
     return Status::InvalidArgument("pull_retry_interval must be > 0");
   }
+  if (config.fault.cache_crashes < 0 || config.fault.relay_failures < 0 ||
+      config.fault.link_flaps < 0 || config.fault.slowdowns < 0) {
+    return Status::InvalidArgument("fault event counts must be >= 0");
+  }
+  if (config.fault.enabled()) {
+    if (config.fault.crash_duration <= 0.0 ||
+        config.fault.relay_fail_duration <= 0.0 ||
+        config.fault.flap_duration <= 0.0 || config.fault.slow_duration <= 0.0) {
+      return Status::InvalidArgument("fault durations must be > 0");
+    }
+    if (config.fault.slowdowns > 0 &&
+        (config.fault.slow_factor <= 0.0 || config.fault.slow_factor > 1.0)) {
+      return Status::InvalidArgument("fault slow_factor must be in (0, 1]");
+    }
+    if (config.fault.crash_cache >= config.num_caches) {
+      return Status::InvalidArgument("fault crash_cache ", config.fault.crash_cache,
+                                     " outside the ", config.num_caches, " caches");
+    }
+    if (config.fault.relay_failures > 0 && config.relay_tiers <= 0) {
+      return Status::InvalidArgument(
+          "fault relay_failures require a relay topology (relay_tiers > 0)");
+    }
+  }
 
   // Random half-splits for rate, weight and cost skew, drawn independently
   // ("an independently- and randomly-selected half", Section 4.3).
@@ -187,12 +211,25 @@ Result<Workload> MakeWorkload(const WorkloadConfig& config) {
     workload.topology =
         MakeRelayTree(config.num_caches, config.relay_fanout, config.relay_tiers);
     workload.topology.relay_bandwidth_factor = config.relay_bandwidth_factor;
+    if (config.fault.relay_failures > 0) {
+      // Failing relays re-home their children to a same-tier backup (falling
+      // back to tier-1 promotion where a tier has a single relay). Draws no
+      // randomness; declared only when the schedule can actually fail one.
+      AssignBackupParents(&workload.topology);
+    }
   }
   workload.has_fluctuating_weights = config.weight_fluctuation_amplitude > 0.0;
   // Read-path knobs travel on the workload; the streams themselves are
   // built at run time from read.seed, so this consumes no generator
   // randomness (read-enabled workloads carry identical update streams).
   workload.read = config.read;
+  // Fault events draw from their own fault.seed stream (none at all when
+  // disabled), so enabling faults leaves the object specs and update
+  // streams below bit-identical.
+  workload.faults =
+      MakeFaultSchedule(config.fault, config.num_caches, workload.topology);
+  BESYNC_RETURN_IF_ERROR(
+      workload.faults.Validate(workload.topology, config.num_caches));
   workload.objects.reserve(total);
 
   // Interest assignment uses a dedicated stream so the default single-cache

@@ -10,6 +10,7 @@
 #include "data/read_process.h"
 #include "data/topology.h"
 #include "data/update_process.h"
+#include "fault/fault_schedule.h"
 #include "util/fluctuation.h"
 #include "util/result.h"
 
@@ -88,6 +89,10 @@ struct Workload {
   /// cursors) — the same sharing hazard applies (exp/runner.h), and
   /// CloneWorkload deep-copies them for the clone-per-job path.
   std::vector<std::unique_ptr<ReadProcess>> read_streams;
+  /// Scripted fault events applied during the run (fault/fault_schedule.h).
+  /// Empty (the default) keeps the fault layer entirely inert: fault-free
+  /// runs are bitwise identical to the pre-fault engine.
+  FaultSchedule faults;
 
   /// True when any client reads will be generated (rate-driven or
   /// trace-driven). Capacity limits apply independently of this.
@@ -213,6 +218,12 @@ struct WorkloadConfig {
   /// own seed at run time — so workloads differing only in `read` carry
   /// identical objects and update streams).
   ReadWorkloadConfig read;
+
+  /// Fault-schedule generator knobs (fault/fault_schedule.h). The schedule
+  /// draws from its own `fault.seed` stream, never the generator's, so a
+  /// disabled config (the default) builds byte-identical workloads and an
+  /// enabled one perturbs nothing but `Workload::faults`.
+  FaultScheduleConfig fault;
 
   uint64_t seed = 1;
 };

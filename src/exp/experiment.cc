@@ -44,6 +44,8 @@ std::unique_ptr<Scheduler> MakeScheduler(const ExperimentConfig& config) {
       cooperative.topology = config.topology;
       cooperative.relay_forward = config.relay_forward;
       cooperative.protocol = config.protocol;
+      cooperative.recovery_policy = config.recovery_policy;
+      cooperative.relay_store_policy = config.relay_store_policy;
       cooperative.run_threads = config.run_threads;
       return std::make_unique<CooperativeScheduler>(cooperative);
     }
@@ -101,6 +103,13 @@ Result<RunResult> RunExperimentOnWorkload(const ExperimentConfig& config,
         "is modeled by the cooperative protocol only; scheduler ",
         SchedulerKindToString(config.scheduler),
         " would silently ignore it while its results were labeled with it");
+  }
+  if (!workload->faults.empty() &&
+      config.scheduler != SchedulerKind::kCooperative) {
+    return Status::InvalidArgument(
+        "fault schedules are a cooperative-engine feature; scheduler ",
+        SchedulerKindToString(config.scheduler),
+        " has no crash/failover hooks and would silently run fault-free");
   }
   if (config.protocol.kind != SyncProtocolKind::kPushRefresh) {
     if (config.scheduler != SchedulerKind::kCooperative) {

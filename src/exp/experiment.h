@@ -64,6 +64,12 @@ struct ExperimentConfig {
   /// InvalidArgument on the baseline schedulers.
   SyncProtocolConfig protocol;
 
+  /// Fault-recovery knobs (cooperative scheduler; inert without a fault
+  /// schedule on the workload). How sources resync a restarted cache, and
+  /// what happens to a failed relay's stored messages.
+  RecoveryPolicy recovery_policy = RecoveryPolicy::kNaiveReenqueue;
+  RelayStorePolicy relay_store_policy = RelayStorePolicy::kDrop;
+
   /// Priority policy for the cooperative/ideal schedulers.
   PolicyKind policy = PolicyKind::kArea;
   /// Threshold algorithm parameters (cooperative scheduler).

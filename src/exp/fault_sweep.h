@@ -1,0 +1,91 @@
+#ifndef BESYNC_EXP_FAULT_SWEEP_H_
+#define BESYNC_EXP_FAULT_SWEEP_H_
+
+#include <vector>
+
+#include "exp/experiment.h"
+#include "exp/runner.h"
+
+namespace besync {
+
+/// Sweep fault intensity x recovery policy x consistency protocol x relay
+/// depth on the cooperative scheduler: every point injects a scripted
+/// crash/restart schedule (plus relay failures on tree points) and measures
+/// how fast the crashed cache resynchronizes against how much steady-state
+/// freshness the warm caches give up — the recovery crossover table
+/// bench_fault prints.
+struct FaultSweepConfig {
+  /// Base experiment: workload shape, harness timing, bandwidth knobs.
+  /// The fault / protocol / relay-tier / policy knobs are overridden per
+  /// sweep point; the scheduler is always cooperative.
+  ExperimentConfig base;
+  /// Crash/restart counts to sweep (the fault-intensity axis; 0 = the
+  /// fault-free baseline point). Every crash targets leaf cache 0, so
+  /// "warm" divergence is cleanly the remaining caches' sum.
+  std::vector<int> crash_counts = {1, 3};
+  /// Recovery policies compared at every regime (innermost: consecutive
+  /// points are the head-to-head competitors of one regime).
+  std::vector<RecoveryPolicy> policies = {RecoveryPolicy::kNaiveReenqueue,
+                                          RecoveryPolicy::kRecoveryPriority};
+  /// Consistency protocols to sweep.
+  std::vector<SyncProtocolKind> protocols = {SyncProtocolKind::kPushRefresh};
+  /// Relay-tree depths to sweep (0 = the flat one-hop star).
+  std::vector<int> relay_tiers = {0};
+  /// Relay fail/recover pairs injected at every tree point (tiers > 0);
+  /// flat points never inject relay failures.
+  int relay_failures = 0;
+  /// What a failed relay does with its stored messages.
+  RelayStorePolicy relay_store_policy = RelayStorePolicy::kDrain;
+  /// Downtime between each crash and its restart (seconds).
+  double crash_duration = 20.0;
+  /// Crash start times are drawn uniformly in [window_start, window_end)
+  /// from the dedicated fault stream.
+  double window_start = 60.0;
+  double window_end = 200.0;
+  /// Seed of the dedicated fault-schedule stream (never the workload's).
+  uint64_t fault_seed = 1234;
+  /// Client read rate applied at every point when > 0. Must be > 0 when a
+  /// pull-based protocol (invalidation / TTL) is swept: without reads
+  /// nothing refills invalid replicas — crashed or not.
+  double read_rate = 4.0;
+  /// Worker threads; 1 = sequential, <= 0 = hardware concurrency.
+  int threads = 1;
+};
+
+/// One fault sweep point.
+struct FaultSweepPoint {
+  int crashes = 0;
+  SyncProtocolKind protocol = SyncProtocolKind::kPushRefresh;
+  int relay_tiers = 0;
+  RecoveryPolicy policy = RecoveryPolicy::kNaiveReenqueue;
+  RunResult result;
+  double wall_seconds = 0.0;
+
+  /// Summed time-averaged divergence of the caches that never crash
+  /// (everything but leaf 0) — what recovery aggressiveness costs.
+  double warm_divergence() const {
+    double sum = 0.0;
+    for (size_t c = 1; c < result.per_cache_weighted.size(); ++c) {
+      sum += result.per_cache_weighted[c];
+    }
+    return sum;
+  }
+  double time_to_resync_p95() const {
+    return result.scheduler.time_to_resync_p95;
+  }
+};
+
+/// Runs the sweep, regime-major (crashes / protocol / tiers) with the
+/// recovery policies innermost, so consecutive points are the head-to-head
+/// competitors of one regime. Each point rebuilds its private workload; the
+/// fault schedule draws from its own seed, so points differing only in
+/// policy observe bit-identical update streams and fault timings. When
+/// `raw_results` is non-null it receives the underlying runner JobResults
+/// in the same order, even when the sweep returns an error.
+Result<std::vector<FaultSweepPoint>> RunFaultSweep(
+    const FaultSweepConfig& config,
+    std::vector<JobResult>* raw_results = nullptr);
+
+}  // namespace besync
+
+#endif  // BESYNC_EXP_FAULT_SWEEP_H_

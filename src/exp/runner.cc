@@ -148,6 +148,17 @@ bool ProtocolFieldsApply(const JobResult& job) {
   return job.config.protocol.kind != SyncProtocolKind::kPushRefresh;
 }
 
+/// Whether a job's serialized row carries fault-injection fields: a fault
+/// generator enabled on the config, or a run whose (possibly hand-built)
+/// schedule applied events. A pure function of the job's config and
+/// deterministic stats, so fault-free grids keep their historical bytes.
+bool FaultFieldsApply(const JobResult& job) {
+  const SchedulerStats& s = job.result.scheduler;
+  return job.config.workload.fault.enabled() || s.cache_crashes > 0 ||
+         s.relay_failures > 0 || s.link_down_events > 0 ||
+         s.slowdown_events > 0;
+}
+
 }  // namespace
 
 uint64_t DeriveJobSeed(uint64_t base, uint64_t index) {
@@ -238,6 +249,23 @@ void WriteResultsJson(std::ostream& os, const std::vector<JobResult>& results,
          << ", \"invalidations_sent\": " << r.scheduler.invalidations_sent
          << ", \"invalidations_received\": " << r.scheduler.invalidations_received;
     }
+    if (FaultFieldsApply(job)) {
+      const SchedulerStats& s = r.scheduler;
+      os << ",\n     \"recovery_policy\": "
+         << JsonString(RecoveryPolicyToString(job.config.recovery_policy))
+         << ", \"relay_store_policy\": "
+         << JsonString(RelayStorePolicyToString(job.config.relay_store_policy))
+         << ", \"cache_crashes\": " << s.cache_crashes
+         << ", \"cache_restarts\": " << s.cache_restarts
+         << ", \"relay_failures\": " << s.relay_failures
+         << ", \"link_down_events\": " << s.link_down_events
+         << ", \"slowdown_events\": " << s.slowdown_events
+         << ", \"crash_dropped_pulls\": " << s.crash_dropped_pulls
+         << ", \"resync_deliveries\": " << s.resync_deliveries
+         << ", \"resync_pending\": " << s.resync_pending
+         << ", \"time_to_resync_mean\": " << JsonNumber(s.time_to_resync_mean)
+         << ", \"time_to_resync_p95\": " << JsonNumber(s.time_to_resync_p95);
+    }
     os << "}";
   }
   os << (results.empty() ? "]" : "\n  ]");
@@ -288,6 +316,9 @@ TablePrinter ResultsCsv(const std::vector<JobResult>& results) {
   // consistency protocol carry them.
   bool protocols = false;
   for (const JobResult& job : results) protocols = protocols || ProtocolFieldsApply(job);
+  // And fault columns: only grids that inject faults carry them.
+  bool faults = false;
+  for (const JobResult& job : results) faults = faults || FaultFieldsApply(job);
   std::vector<std::string> header{
       "name", "scheduler", "policy", "metric", "num_caches",
       "cache_bandwidth_avg", "source_bandwidth_avg", "loss_rate",
@@ -309,6 +340,15 @@ TablePrinter ResultsCsv(const std::vector<JobResult>& results) {
     for (const char* column :
          {"protocol", "ttl", "invalidate_batch", "invalidations_sent",
           "invalidations_received"}) {
+      header.push_back(column);
+    }
+  }
+  if (faults) {
+    for (const char* column :
+         {"recovery_policy", "relay_store_policy", "cache_crashes",
+          "cache_restarts", "relay_failures", "link_down_events",
+          "slowdown_events", "crash_dropped_pulls", "resync_deliveries",
+          "resync_pending", "time_to_resync_mean", "time_to_resync_p95"}) {
       header.push_back(column);
     }
   }
@@ -362,6 +402,21 @@ TablePrinter ResultsCsv(const std::vector<JobResult>& results) {
       row.push_back(std::to_string(job.config.protocol.max_invalidate_batch));
       row.push_back(TablePrinter::Cell(r.scheduler.invalidations_sent));
       row.push_back(TablePrinter::Cell(r.scheduler.invalidations_received));
+    }
+    if (faults) {
+      const SchedulerStats& s = r.scheduler;
+      row.push_back(RecoveryPolicyToString(job.config.recovery_policy));
+      row.push_back(RelayStorePolicyToString(job.config.relay_store_policy));
+      row.push_back(TablePrinter::Cell(s.cache_crashes));
+      row.push_back(TablePrinter::Cell(s.cache_restarts));
+      row.push_back(TablePrinter::Cell(s.relay_failures));
+      row.push_back(TablePrinter::Cell(s.link_down_events));
+      row.push_back(TablePrinter::Cell(s.slowdown_events));
+      row.push_back(TablePrinter::Cell(s.crash_dropped_pulls));
+      row.push_back(TablePrinter::Cell(s.resync_deliveries));
+      row.push_back(TablePrinter::Cell(s.resync_pending));
+      row.push_back(JsonNumber(s.time_to_resync_mean));
+      row.push_back(JsonNumber(s.time_to_resync_p95));
     }
     row.push_back(job.status.ok() ? "" : job.status.ToString());
     table.AddRow(std::move(row));

@@ -1,6 +1,7 @@
 #include "net/link.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "util/logging.h"
@@ -24,7 +25,15 @@ void Link::BeginTick(double tick_start, double tick_len) {
   }
   // Debt from a multi-tick transmission carries forward; surplus does not.
   const int64_t debt = std::min<int64_t>(remaining_, 0);
-  tick_budget_ = bandwidth_->BudgetForTick(tick_start, tick_len);
+  // The bandwidth model is always consulted (it may keep fractional-credit
+  // state across ticks); fault overrides apply to the result only.
+  int64_t budget = bandwidth_->BudgetForTick(tick_start, tick_len);
+  if (down_) {
+    budget = 0;
+  } else if (bandwidth_factor_ != 1.0) {
+    budget = static_cast<int64_t>(static_cast<double>(budget) * bandwidth_factor_);
+  }
+  tick_budget_ = budget;
   remaining_ = tick_budget_ + debt;
   tick_start_remaining_ = remaining_;
   queue_length_stat_.Add(static_cast<double>(queue_.size()));
@@ -40,6 +49,10 @@ void Link::FinishTick() {
 }
 
 void Link::Enqueue(Message message) {
+  if (down_) {
+    ++messages_blackholed_;
+    return;
+  }
   queue_.push_back(std::move(message));
   max_queue_size_ = std::max(max_queue_size_, queue_.size());
 }
@@ -91,6 +104,7 @@ int64_t Link::ConsumeBudget(int64_t amount) {
 
 bool Link::TryConsumeAllowingDeficit(int64_t amount) {
   BESYNC_CHECK_GE(amount, 0);
+  if (down_) return false;
   if (remaining_ <= 0) return false;
   remaining_ -= amount;
   return true;
@@ -98,7 +112,17 @@ bool Link::TryConsumeAllowingDeficit(int64_t amount) {
 
 void Link::ConsumeAllowingDebt(int64_t amount) {
   BESYNC_CHECK_GE(amount, 0);
+  // A partitioned link charges nothing: the traffic it would have carried
+  // was blackholed, and charging would bury the recovered link in debt.
+  if (down_) return;
   remaining_ -= amount;
+}
+
+std::vector<Message> Link::TakeQueue() {
+  std::vector<Message> taken(std::make_move_iterator(queue_.begin()),
+                             std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  return taken;
 }
 
 void Link::SetLossRate(double rate, uint64_t seed) {
@@ -115,6 +139,7 @@ void Link::ResetStats() {
   messages_dropped_ = 0;
   pull_units_delivered_ = 0;
   push_units_delivered_ = 0;
+  messages_blackholed_ = 0;
   max_queue_size_ = queue_.size();
 }
 

@@ -78,6 +78,28 @@ class Link {
   /// Configures random message loss on delivery (0 = lossless, default).
   void SetLossRate(double rate, uint64_t seed);
 
+  /// Partitions / heals the link (fault injection). While down the link
+  /// blackholes: new Enqueue()s are dropped, every budget grant is refused,
+  /// and the tick budget is 0 — queued messages freeze in place and deliver
+  /// once the link comes back. Deficit carried into the outage is preserved
+  /// (the interrupted transmission resumes on recovery).
+  void SetDown(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  /// Temporary bandwidth degradation (fault injection): each tick's budget
+  /// is scaled by `factor` (1 = nominal). Only consulted when != 1, so
+  /// fault-free runs keep their exact budget arithmetic.
+  void SetBandwidthFactor(double factor) { bandwidth_factor_ = factor; }
+  double bandwidth_factor() const { return bandwidth_factor_; }
+
+  /// Messages dropped at Enqueue because the link was down.
+  int64_t messages_blackholed() const { return messages_blackholed_; }
+
+  /// Removes and returns every queued message in FIFO order (relay
+  /// failover: the caller re-routes or drops them per policy). Budget and
+  /// statistics are untouched.
+  std::vector<Message> TakeQueue();
+
   int64_t remaining_budget() const { return remaining_; }
   int64_t tick_budget() const { return tick_budget_; }
   size_t queue_size() const { return queue_.size(); }
@@ -127,6 +149,9 @@ class Link {
   bool in_tick_ = false;
   double loss_rate_ = 0.0;
   Rng loss_rng_{0};
+  bool down_ = false;
+  double bandwidth_factor_ = 1.0;
+  int64_t messages_blackholed_ = 0;
 };
 
 }  // namespace besync

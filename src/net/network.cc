@@ -93,27 +93,11 @@ Network::Network(const NetworkConfig& config, Rng* rng) : config_(config) {
               egress_unconstrained ? 0.0 : config.bandwidth_change_rate, rng))));
     }
 
-    for (int n = 0; n < nodes; ++n) {
-      const int32_t p = topology.parent[n];
-      if (p != -1) children_[p].push_back(static_cast<int32_t>(n));
-    }
     next_hop_.assign(static_cast<size_t>(topology.num_relays()),
                      std::vector<int32_t>(static_cast<size_t>(config.num_caches), -1));
-    for (int leaf = 0; leaf < config.num_caches; ++leaf) {
-      int32_t below = static_cast<int32_t>(leaf);
-      int32_t node = topology.parent[leaf];
-      while (node != -1) {
-        next_hop_[node - config.num_caches][leaf] = below;
-        below = node;
-        node = topology.parent[node];
-      }
-      first_hop_[leaf] = below;
-    }
-    upstream_relays_ = topology.RelaysBottomUp();
-    downstream_relays_ = topology.RelaysTopDown();
-    for (int n = 0; n < nodes; ++n) {
-      if (topology.parent[n] == -1) tier1_nodes_.push_back(static_cast<int32_t>(n));
-    }
+    effective_parent_ = topology.parent;
+    relay_alive_.assign(static_cast<size_t>(topology.num_relays()), 1);
+    BuildRouting();
   } else {
     tier1_nodes_.resize(static_cast<size_t>(config.num_caches));
     for (int c = 0; c < config.num_caches; ++c) tier1_nodes_[c] = c;
@@ -207,13 +191,117 @@ const std::vector<int32_t>& Network::children(int node) const {
 }
 
 int32_t Network::NextHop(int node, int cache_id) const {
+  const int32_t hop = TryNextHop(node, cache_id);
+  BESYNC_CHECK_GE(hop, 0) << "cache " << cache_id << " is not below relay " << node;
+  return hop;
+}
+
+int32_t Network::TryNextHop(int node, int cache_id) const {
   BESYNC_CHECK_GE(node, num_caches());
   BESYNC_CHECK_LT(node, num_nodes());
   BESYNC_CHECK_GE(cache_id, 0);
   BESYNC_CHECK_LT(cache_id, num_caches());
-  const int32_t hop = next_hop_[node - num_caches()][cache_id];
-  BESYNC_CHECK_GE(hop, 0) << "cache " << cache_id << " is not below relay " << node;
-  return hop;
+  return next_hop_[node - num_caches()][cache_id];
+}
+
+void Network::RecomputeEffectiveParents() {
+  const TopologySpec& topology = config_.topology;
+  const int leaves = num_caches();
+  for (int n = 0; n < num_nodes(); ++n) {
+    int32_t p = topology.parent[n];
+    if (p != -1 && relay_alive_[p - leaves] == 0) {
+      const int32_t backup = topology.BackupParentOf(p);
+      p = (backup != -1 && relay_alive_[backup - leaves] != 0) ? backup : -1;
+    }
+    effective_parent_[n] = p;
+  }
+}
+
+void Network::BuildRouting() {
+  const int nodes = num_nodes();
+  const int leaves = num_caches();
+  for (auto& list : children_) list.clear();
+  for (int n = 0; n < nodes; ++n) {
+    if (n >= leaves && relay_alive_[n - leaves] == 0) continue;
+    const int32_t p = effective_parent_[n];
+    if (p != -1) children_[p].push_back(static_cast<int32_t>(n));
+  }
+  for (auto& row : next_hop_) std::fill(row.begin(), row.end(), -1);
+  for (int leaf = 0; leaf < leaves; ++leaf) {
+    int32_t below = static_cast<int32_t>(leaf);
+    int32_t node = effective_parent_[leaf];
+    int steps = 0;
+    while (node != -1) {
+      BESYNC_CHECK_LE(++steps, nodes) << "failover routing created a cycle";
+      next_hop_[node - leaves][leaf] = below;
+      below = node;
+      node = effective_parent_[node];
+    }
+    first_hop_[leaf] = below;
+  }
+  // Pump/forward orders over the surviving relays, by height above the
+  // leaves under the *effective* parent map (stable, so ascending node ids
+  // break ties — the same order construction uses when nothing has failed).
+  std::vector<int> height(static_cast<size_t>(nodes), 0);
+  for (int leaf = 0; leaf < leaves; ++leaf) {
+    int distance = 0;
+    int32_t node = effective_parent_[leaf];
+    while (node != -1) {
+      ++distance;
+      height[node] = std::max(height[node], distance);
+      node = effective_parent_[node];
+    }
+  }
+  std::vector<int32_t> alive;
+  alive.reserve(relay_links_.size());
+  for (int n = leaves; n < nodes; ++n) {
+    if (relay_alive_[n - leaves] != 0) alive.push_back(static_cast<int32_t>(n));
+  }
+  upstream_relays_ = alive;
+  std::stable_sort(upstream_relays_.begin(), upstream_relays_.end(),
+                   [&height](int32_t a, int32_t b) { return height[a] < height[b]; });
+  downstream_relays_ = alive;
+  std::stable_sort(downstream_relays_.begin(), downstream_relays_.end(),
+                   [&height](int32_t a, int32_t b) { return height[a] > height[b]; });
+  tier1_nodes_.clear();
+  for (int n = 0; n < nodes; ++n) {
+    if (n >= leaves && relay_alive_[n - leaves] == 0) continue;
+    if (effective_parent_[n] == -1) tier1_nodes_.push_back(static_cast<int32_t>(n));
+  }
+}
+
+void Network::FailRelay(int node) {
+  BESYNC_CHECK(has_relays());
+  BESYNC_CHECK_GE(node, num_caches());
+  BESYNC_CHECK_LT(node, num_nodes());
+  const int idx = node - num_caches();
+  BESYNC_CHECK(relay_alive_[idx] != 0) << "relay " << node << " already failed";
+  relay_alive_[idx] = 0;
+  RecomputeEffectiveParents();
+  BuildRouting();
+  // Re-deposit control mail held at the failed relay at each message's
+  // originating leaf, preserving order: the next PumpControlUpstream walks
+  // it up the rebuilt tree, so feedback survives the failover. (Mail
+  // normally drains every tick, so these buffers are almost always empty.)
+  for (int j = 0; j < num_sources(); ++j) {
+    BESYNC_DCHECK(mail_incoming_[MailSlot(node, j)].empty())
+        << "control mail is only ever deposited at leaf edges";
+    auto held = std::exchange(mail_deliverable_[MailSlot(node, j)], {});
+    for (auto& message : held) {
+      mail_deliverable_[MailSlot(message.cache_id, j)].push_back(std::move(message));
+    }
+  }
+}
+
+void Network::RecoverRelay(int node) {
+  BESYNC_CHECK(has_relays());
+  BESYNC_CHECK_GE(node, num_caches());
+  BESYNC_CHECK_LT(node, num_nodes());
+  const int idx = node - num_caches();
+  BESYNC_CHECK(relay_alive_[idx] == 0) << "relay " << node << " is not failed";
+  relay_alive_[idx] = 1;
+  RecomputeEffectiveParents();
+  BuildRouting();
 }
 
 void Network::SendToSource(int cache_id, int source_index, Message message) {

@@ -99,6 +99,10 @@ class Network {
   /// Child of relay `node` on the path toward leaf `cache_id` (checked:
   /// the leaf must lie below the relay).
   int32_t NextHop(int node, int cache_id) const;
+  /// Like NextHop, but returns -1 when the leaf is not below the relay —
+  /// a message can outlive its routing when a failover re-homes its leaf
+  /// while it sits in a relay store, and the forwarder must detect that.
+  int32_t TryNextHop(int node, int cache_id) const;
   /// Relay node ids in downstream processing order (parents before
   /// children), so one tick cascades a pass-through tree end to end.
   const std::vector<int32_t>& downstream_relays() const { return downstream_relays_; }
@@ -129,6 +133,28 @@ class Network {
   /// Single-cache convenience: drains mail from cache 0.
   std::vector<Message> TakeSourceMail(int source_index);
 
+  // --- fault injection: relay failover ---
+
+  /// Whether a relay node is currently forwarding (always true for leaves).
+  bool relay_alive(int node) const {
+    return node < num_caches() || relay_alive_[node - num_caches()] != 0;
+  }
+
+  /// Fails relay `node`: its children re-attach to the topology's backup
+  /// parent (or become tier-1 when the backup is missing or also dead) and
+  /// first_hop/next-hop routing, the pump orders, and the tier-1 set are
+  /// rebuilt from the surviving nodes. Control mail held at the relay is
+  /// re-deposited at each message's originating leaf edge (stamped in
+  /// SendToSource), preserving order — feedback is rerouted, never lost.
+  /// Data messages queued on the relay's ingress link are *not* touched;
+  /// the caller decides their fate (drop or drain) via Link::TakeQueue.
+  void FailRelay(int node);
+
+  /// Restores the original parent map for the recovered relay's subtree and
+  /// rebuilds routing. The relay comes back with whatever queue its links
+  /// kept (empty if the caller drained them at failure).
+  void RecoverRelay(int node);
+
   /// Resets link statistics (end of warm-up).
   void ResetStats();
 
@@ -137,6 +163,14 @@ class Network {
  private:
   size_t MailSlot(int node, int source_index) const;
   Link& relay_ingress(int node);
+  /// Recomputes effective_parent_ from the alive set: a node whose parent
+  /// died re-attaches to the parent's backup (when declared and alive),
+  /// otherwise becomes tier-1 for the outage.
+  void RecomputeEffectiveParents();
+  /// Rebuilds children_, next_hop_, first_hop_, the pump orders and
+  /// tier1_nodes_ from effective_parent_, skipping dead relays. With every
+  /// relay alive this reproduces the construction-time tables exactly.
+  void BuildRouting();
 
   NetworkConfig config_;
   std::vector<std::unique_ptr<Link>> cache_links_;
@@ -147,6 +181,12 @@ class Network {
   std::vector<std::unique_ptr<Link>> relay_links_;
   /// Relay egress-budget links, indexed by node - num_caches.
   std::vector<std::unique_ptr<Link>> relay_egress_;
+  /// Parent map under the current alive set (== topology.parent until a
+  /// relay fails). Sized num_nodes for tree topologies, empty when flat.
+  std::vector<int32_t> effective_parent_;
+  /// 1 while the relay forwards, 0 between FailRelay and RecoverRelay.
+  /// Indexed by node - num_caches.
+  std::vector<uint8_t> relay_alive_;
   /// Tier-1 ancestor of each leaf (the leaf itself when flat).
   std::vector<int32_t> first_hop_;
   /// next_hop_[node - num_caches][leaf]: child of the relay on the path to

@@ -39,6 +39,9 @@ class InvalidationProtocol : public SyncProtocol {
   void OnInvalidate(ReplicaSyncState* state, double) const override {
     state->valid = false;
   }
+  void OnCacheRestart(ReplicaSyncState* state, double) const override {
+    state->valid = false;
+  }
 };
 
 class TtlLeaseProtocol : public SyncProtocol {
@@ -57,6 +60,9 @@ class TtlLeaseProtocol : public SyncProtocol {
   }
   void OnInvalidate(ReplicaSyncState*, double) const override {
     BESYNC_CHECK(false) << "TTL/lease sources never emit invalidations";
+  }
+  void OnCacheRestart(ReplicaSyncState* state, double now) const override {
+    state->lease_expiry = now;  // expired: the next read misses and pulls
   }
 };
 

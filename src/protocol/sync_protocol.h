@@ -99,6 +99,15 @@ class SyncProtocol {
   /// `now`.
   virtual void OnInvalidate(ReplicaSyncState* state, double now) const = 0;
 
+  /// Fault hook: the replica's cache crashed and restarted at `now`, losing
+  /// all in-memory content and protocol state. The restarted replica must
+  /// not be servable until refreshed: invalidation marks it invalid, TTL
+  /// expires its lease. Push refresh keeps no validity state — a no-op.
+  virtual void OnCacheRestart(ReplicaSyncState* state, double now) const {
+    (void)state;
+    (void)now;
+  }
+
  protected:
   explicit SyncProtocol(const SyncProtocolConfig& config) : config_(config) {}
 

@@ -28,7 +28,18 @@ int64_t CacheStore::SlotOf(ObjectIndex index) const {
 }
 
 int64_t CacheStore::num_resident() const {
-  return unbounded() ? num_members() : num_resident_;
+  return unbounded() && !crashed_ ? num_members() : num_resident_;
+}
+
+void CacheStore::Crash() {
+  if (unbounded() && slots_.empty()) slots_.resize(members_.size());
+  crashed_ = true;
+  for (SlotState& state : slots_) {
+    state.resident = false;
+    state.last_touch = 0.0;
+    state.read_count = 0;
+  }
+  num_resident_ = 0;
 }
 
 void CacheStore::TouchRead(int64_t slot, double t) {
@@ -83,7 +94,17 @@ int64_t CacheStore::SelectVictim(
 
 int64_t CacheStore::Install(int64_t slot, double t,
                             const std::function<double(ObjectIndex)>& divergence_of) {
-  if (unbounded()) return -1;
+  if (unbounded()) {
+    // A crashed unbounded store refills slot by slot with no capacity
+    // pressure; one that never crashed has everything resident already.
+    if (crashed_ && !slots_[slot].resident) {
+      slots_[slot].resident = true;
+      slots_[slot].last_touch = t;
+      ++num_resident_;
+      ++installs_;
+    }
+    return -1;
+  }
   SlotState& state = slots_[slot];
   if (state.resident) return -1;
   int64_t evicted = -1;

@@ -39,8 +39,21 @@ class CacheStore {
   /// Slot of `index` in the member list, or -1 if not replicated here.
   int64_t SlotOf(ObjectIndex index) const;
 
-  bool resident(int64_t slot) const { return unbounded() || slots_[slot].resident; }
+  bool resident(int64_t slot) const {
+    return (unbounded() && !crashed_) || slots_[slot].resident;
+  }
   int64_t num_resident() const;
+
+  /// Drops every resident replica (fault injection: the cache process
+  /// died). Unbounded stores switch to tracked residency from here on —
+  /// content returns only through installs (pull responses and push
+  /// refreshes), never by fiat — so the "everything is always resident"
+  /// fast path applies only to stores that have never crashed. Eviction
+  /// counters are untouched (a crash is not an eviction).
+  void Crash();
+  /// True once Crash() has been called (residency is tracked even when
+  /// unbounded).
+  bool ever_crashed() const { return crashed_; }
 
   /// Records a client read hit of `slot` at time `t` (LRU/LFU bookkeeping).
   void TouchRead(int64_t slot, double t);
@@ -89,6 +102,9 @@ class CacheStore {
   int64_t num_resident_ = 0;
   int64_t evictions_ = 0;
   int64_t installs_ = 0;
+  /// Set by Crash(): an unbounded store tracks residency via slots_ from
+  /// then on. Never set on the fault-free path.
+  bool crashed_ = false;
 };
 
 }  // namespace besync

@@ -7,19 +7,21 @@
 namespace besync {
 
 void ReadPath::Initialize(Harness* harness, int num_caches,
-                          const SyncProtocol* protocol) {
+                          const SyncProtocol* protocol, bool has_cache_faults) {
   harness_ = harness;
   const Workload& workload = harness->workload();
   config_ = workload.read;
   protocol_ = protocol;
   validity_tracked_ = protocol != nullptr && protocol->tracks_validity();
   reads_enabled_ = workload.reads_enabled();
-  enabled_ = reads_enabled_ || config_.capacity > 0 || validity_tracked_;
+  enabled_ = reads_enabled_ || config_.capacity > 0 || validity_tracked_ ||
+             has_cache_faults;
   caches_.clear();
   reads_ = hits_ = misses_ = pull_requests_ = pulls_delivered_ = 0;
   miss_latency_sum_ = 0.0;
   miss_latency_count_ = 0;
   invalidations_received_ = 0;
+  crash_dropped_pulls_ = 0;
   if (!enabled_) return;
 
   if (!workload.read_streams.empty()) {
@@ -70,7 +72,7 @@ void ReadPath::Initialize(Harness* harness, int num_caches,
     // Validity-tracking protocols make even unbounded stores missable (an
     // invalid/expired replica reads as a miss), so they need pending-pull
     // slots and per-replica sync state alongside residency.
-    if (!state.store.unbounded() || validity_tracked_) {
+    if (!state.store.unbounded() || validity_tracked_ || has_cache_faults) {
       state.pending.resize(static_cast<size_t>(n));
     }
     if (validity_tracked_) {
@@ -101,7 +103,10 @@ void ReadPath::ProcessReads(double t) {
     const double read_time = next->next_read_time;
     const int64_t slot =
         next->stream->NextObjectSlot(next->store.num_members(), &next->rng);
-    HandleRead(next, slot, read_time);
+    // A crashed cache's clients keep issuing reads (the stream and its RNG
+    // advance deterministically) but the reads go nowhere: no hit/miss
+    // accounting, no pulls.
+    if (!next->down) HandleRead(next, slot, read_time);
     next->next_read_time = next->stream->NextReadTime(read_time, &next->rng);
   }
 }
@@ -219,12 +224,39 @@ void ReadPath::ApplyInvalidate(CacheState* cache, ObjectIndex index, double t) {
   ++invalidations_received_;
 }
 
+void ReadPath::OnCacheCrash(int cache_id, double now) {
+  BESYNC_CHECK(enabled_) << "cache crash with the read path disabled";
+  CacheState& cache = caches_[cache_id];
+  cache.down = true;
+  cache.store.Crash();
+  // Cancel the pending pulls. A response already in flight still installs
+  // its content on arrival (the wire does not know the process died), but
+  // the reads that were waiting on it perished with the cache — resolving
+  // them later would be a phantom hit served by a dead process.
+  for (PendingPull& pending : cache.pending) {
+    if (pending.active) ++crash_dropped_pulls_;
+    pending = PendingPull{};
+  }
+  cache.request_queue.clear();
+  if (validity_tracked_) {
+    for (int64_t slot = 0; slot < cache.store.num_members(); ++slot) {
+      protocol_->OnCacheRestart(&cache.store.sync_state(slot), now);
+    }
+  }
+}
+
+void ReadPath::OnCacheRestart(int cache_id) {
+  BESYNC_CHECK(enabled_) << "cache restart with the read path disabled";
+  caches_[cache_id].down = false;
+}
+
 void ReadPath::OnMeasurementStart() {
   if (!enabled_) return;
   reads_ = hits_ = misses_ = pull_requests_ = pulls_delivered_ = 0;
   miss_latency_sum_ = 0.0;
   miss_latency_count_ = 0;
   invalidations_received_ = 0;
+  crash_dropped_pulls_ = 0;
   for (CacheState& cache : caches_) {
     cache.staleness.Reset();
     cache.store.ResetCounters();

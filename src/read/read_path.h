@@ -72,8 +72,13 @@ class ReadPath {
   /// A validity-tracking `protocol` (invalidation / TTL; may be null —
   /// push refresh) adds per-replica ReplicaSyncState to the stores and
   /// makes reads of invalid/expired replicas miss and pull.
+  /// `has_cache_faults` (the run's effective fault schedule contains cache
+  /// crashes) keeps the read path live even with no reads and unbounded
+  /// capacity: crashes flow through the stores and recovery refills flow
+  /// through delivery resolution. False changes nothing.
   void Initialize(Harness* harness, int num_caches,
-                  const SyncProtocol* protocol = nullptr);
+                  const SyncProtocol* protocol = nullptr,
+                  bool has_cache_faults = false);
 
   /// True when the read path participates in the run at all (client reads
   /// configured or finite capacity).
@@ -88,6 +93,22 @@ class ReadPath {
   /// batch-mates): the replicas turn invalid, so their next read misses.
   /// Residency is untouched — the stale bytes stay until overwritten.
   void OnInvalidateDelivered(const Message& message, double t);
+
+  /// Fault hook: cache `cache_id` crashed at `now`. Drops every resident
+  /// replica (CacheStore::Crash), resets per-replica protocol state
+  /// (invalid / expired — a restarted replica must be re-fetched before it
+  /// can serve), and cancels all pending pulls: responses already in flight
+  /// will still install content on arrival, but they must not resolve reads
+  /// that died with the process — each cancelled in-flight pull counts into
+  /// crash_dropped_pulls().
+  void OnCacheCrash(int cache_id, double now);
+  /// Fault hook: cache `cache_id` came back (empty). Reads flow again;
+  /// content returns only through installs.
+  void OnCacheRestart(int cache_id);
+  /// True while the cache is crashed (reads are consumed but discarded).
+  bool cache_down(int cache_id) const { return caches_[cache_id].down; }
+  /// Pending pulls cancelled by crashes (measurement window).
+  int64_t crash_dropped_pulls() const { return crash_dropped_pulls_; }
 
   /// Measurement-window reset (residency and pending pulls persist; only
   /// statistics are zeroed).
@@ -116,6 +137,9 @@ class ReadPath {
     explicit CacheState(CacheStore s) : store(std::move(s)) {}
 
     int32_t cache_id = 0;
+    /// Crashed (fault injection): reads are discarded, deliveries are
+    /// dropped by the scheduler before they reach us.
+    bool down = false;
     CacheStore store;
     /// Null when this cache generates no reads.
     ReadProcess* stream = nullptr;
@@ -149,6 +173,7 @@ class ReadPath {
   double miss_latency_sum_ = 0.0;
   int64_t miss_latency_count_ = 0;
   int64_t invalidations_received_ = 0;
+  int64_t crash_dropped_pulls_ = 0;
 };
 
 }  // namespace besync

@@ -107,6 +107,51 @@ TEST(StatsResetProtocolTest, ReusedCooperativeSchedulerZeroesProtocolCounters) {
   EXPECT_EQ(reset.invalidations_received, 0);
 }
 
+TEST(StatsResetFaultTest, ReusedCooperativeSchedulerZeroesFaultCounters) {
+  // Drive every fault counter family — cache crash/restart (with its resync
+  // episode), a relay failover, a link flap, a slowdown — then start a fresh
+  // measurement window on the same scheduler instance: the fault counters
+  // must re-zero with everything else, or a reused scheduler double-counts
+  // the previous run's outages.
+  ExperimentConfig config = BaseConfig(SchedulerKind::kCooperative);
+  config.workload.num_caches = 2;
+  config.workload.interest_pattern = InterestPattern::kPartitionedBySource;
+  config.workload.relay_tiers = 1;
+  config.workload.fault.cache_crashes = 2;
+  config.workload.fault.relay_failures = 1;
+  config.workload.fault.link_flaps = 1;
+  config.workload.fault.slowdowns = 1;
+  config.workload.fault.window_start = 40.0;
+  config.workload.fault.window_end = 120.0;
+  const Workload workload = std::move(MakeWorkload(config.workload)).ValueOrDie();
+  const auto metric = MakeMetric(config.metric);
+  const auto scheduler = MakeScheduler(config);
+  Harness harness(&workload, metric.get(), config.harness);
+  ASSERT_TRUE(harness.Run(scheduler.get()).ok());
+
+  const SchedulerStats after_run = scheduler->stats();
+  EXPECT_GT(after_run.cache_crashes, 0);
+  EXPECT_GT(after_run.cache_restarts, 0);
+  EXPECT_GT(after_run.relay_failures, 0);
+  EXPECT_GT(after_run.link_down_events, 0);
+  EXPECT_GT(after_run.slowdown_events, 0);
+  EXPECT_GT(after_run.resync_deliveries, 0);
+  EXPECT_GT(after_run.time_to_resync_p95, 0.0);
+
+  scheduler->OnMeasurementStart(harness.now());
+  const SchedulerStats reset = scheduler->stats();
+  EXPECT_EQ(reset.cache_crashes, 0);
+  EXPECT_EQ(reset.cache_restarts, 0);
+  EXPECT_EQ(reset.relay_failures, 0);
+  EXPECT_EQ(reset.link_down_events, 0);
+  EXPECT_EQ(reset.slowdown_events, 0);
+  EXPECT_EQ(reset.crash_dropped_pulls, 0);
+  EXPECT_EQ(reset.resync_deliveries, 0);
+  EXPECT_EQ(reset.resync_pending, 0);
+  EXPECT_EQ(reset.time_to_resync_mean, 0.0);
+  EXPECT_EQ(reset.time_to_resync_p95, 0.0);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllSchedulers, StatsResetTest,
                          ::testing::Values(SchedulerKind::kCooperative,
                                            SchedulerKind::kIdealCooperative,

@@ -43,6 +43,9 @@ PROFILES = {
     "BENCH_scale.json": {
         "bench_scale": [],
     },
+    "BENCH_fault.json": {
+        "bench_fault": [],
+    },
 }
 
 # Fields every run_results row must carry (exp/runner.h).
@@ -66,6 +69,13 @@ READ_RESULT_KEYS = {
 PROTOCOL_RESULT_KEYS = {
     "protocol", "ttl", "invalidate_batch", "invalidations_sent",
     "invalidations_received",
+}
+# Fields fault-injected rows additionally carry.
+FAULT_RESULT_KEYS = {
+    "recovery_policy", "relay_store_policy", "cache_crashes",
+    "cache_restarts", "relay_failures", "link_down_events",
+    "slowdown_events", "crash_dropped_pulls", "resync_deliveries",
+    "resync_pending", "time_to_resync_mean", "time_to_resync_p95",
 }
 
 
@@ -96,6 +106,10 @@ def validate_run_results(doc, context):
         if extra_protocol and extra_protocol != PROTOCOL_RESULT_KEYS:
             fail(f"{context}: result {i} carries a partial protocol-field "
                  f"set {sorted(extra_protocol)}")
+        extra_fault = row.keys() & FAULT_RESULT_KEYS
+        if extra_fault and extra_fault != FAULT_RESULT_KEYS:
+            fail(f"{context}: result {i} carries a partial fault-field set "
+                 f"{sorted(extra_fault)}")
 
 
 def parse_point_name(name):
@@ -136,6 +150,41 @@ def check_protocol_crossover(results, context):
          f"invalidation")
 
 
+def check_fault_recovery(results, context):
+    """The acceptance bar for BENCH_fault.json: in at least one crashed
+    regime the recovery-priority policy must finish resyncing faster than
+    naive re-enqueueing (an unfinished resync counts as infinitely slow)
+    WITHOUT giving up warm-cache freshness — the summed divergence of the
+    never-crashed caches stays within a hair of naive's."""
+
+    def warm_divergence(row):
+        return sum(row["per_cache_weighted"][1:])
+
+    def resync_key(row):
+        if row["resync_pending"] > 0:
+            return float("inf")
+        return row["time_to_resync_p95"]
+
+    regimes = {}
+    for row in results:
+        point = parse_point_name(row["name"])
+        if int(point.get("crashes", "0")) == 0:
+            continue
+        regime = (point["crashes"], point.get("proto"), point.get("tiers"))
+        regimes.setdefault(regime, {})[point.get("policy")] = row
+    for competitors in regimes.values():
+        naive = competitors.get("naive")
+        priority = competitors.get("priority")
+        if naive is None or priority is None:
+            continue
+        if (resync_key(priority) < resync_key(naive)
+                and warm_divergence(priority)
+                <= warm_divergence(naive) * 1.001):
+            return
+    fail(f"{context}: no regime where recovery-priority beats naive on "
+         f"time-to-resync p95 while holding warm-cache divergence")
+
+
 def validate_baseline(doc, context, profile):
     if doc.get("schema") != BASELINE_SCHEMA:
         fail(f"{context}: schema is {doc.get('schema')!r}, "
@@ -170,6 +219,14 @@ def validate_baseline(doc, context, profile):
         if "perf" in scale:
             fail(f"{context}: bench_scale recorded a perf member — "
                  f"baselines must be timing-free (drop --perf)")
+    if profile == "BENCH_fault.json":
+        # The point of this baseline is the recovery crossover: every row
+        # is fault-injected, and the dedicated recovery channel must earn
+        # its keep somewhere in the recorded grid.
+        fault = benches["bench_fault"]
+        if not any("recovery_policy" in row for row in fault["results"]):
+            fail(f"{context}: bench_fault recorded no fault rows")
+        check_fault_recovery(fault["results"], context)
 
 
 def run_bench(build_dir, name, extra_args):
