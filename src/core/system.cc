@@ -6,6 +6,18 @@
 #include "util/logging.h"
 
 namespace besync {
+namespace {
+
+/// Split key of send-order child stream 0 ("SORD"); logical shard ls uses
+/// kSendOrderSplitKey + ls. Changing it changes every send_order_shards > 0
+/// run (the default path never splits).
+constexpr uint64_t kSendOrderSplitKey = 0x534F5244ULL;
+/// Per-ring slot count of the send-order cross-shard rings. Overflow is
+/// handled (spill vectors), so this only tunes how much traffic moves
+/// through the lock-free path.
+constexpr size_t kSendRingCapacity = 256;
+
+}  // namespace
 
 CooperativeScheduler::CooperativeScheduler(const CooperativeConfig& config)
     : config_(config),
@@ -144,14 +156,59 @@ void CooperativeScheduler::Initialize(Harness* harness) {
   }
   read_path_.Initialize(harness, num_caches, protocol_.get(), has_cache_faults);
 
+  resync_notes_.clear();
+  if (!fault_events_.empty()) {
+    resync_notes_.assign(static_cast<size_t>(num_caches), ResyncNote{});
+  }
+
   // Intra-run sharding team. The sharded phases are bitwise identical to
-  // the sequential ones (see SendPhaseSharded / CollectDeliveriesSharded),
-  // so run_threads is a pure throughput knob.
+  // the sequential ones (see SendPhaseSharded / ApplyDeliveriesSharded),
+  // so run_threads is a pure throughput knob. The team is clamped to the
+  // widest shardable axis: lanes past it would get empty ShardRange slices
+  // and idle through every barrier (see ShardPool::ShardRange).
   shard_pool_.reset();
-  if (config_.run_threads > 1) {
-    shard_pool_ = std::make_unique<ShardPool>(config_.run_threads);
-    send_buffers_.assign(static_cast<size_t>(m), {});
+  send_rings_.clear();
+  send_spill_.clear();
+  send_order_rngs_.clear();
+  send_order_sources_.clear();
+  const int team =
+      std::min(config_.run_threads,
+               std::max({m, num_caches, network_->num_nodes()}));
+  if (team > 1) {
+    shard_pool_ = std::make_unique<ShardPool>(team);
     deliver_buffers_.assign(static_cast<size_t>(num_caches), {});
+  }
+  if (shard_pool_ != nullptr || config_.send_order_shards > 0) {
+    send_buffers_.assign(static_cast<size_t>(m), {});
+  }
+  if (config_.send_order_shards > 0) {
+    const int order_shards = config_.send_order_shards;
+    send_order_rngs_.reserve(static_cast<size_t>(order_shards));
+    send_order_sources_.resize(static_cast<size_t>(order_shards));
+    for (int ls = 0; ls < order_shards; ++ls) {
+      // Child streams are keyed by the LOGICAL shard id, never the lane:
+      // the draws each shard makes are pinned regardless of run_threads.
+      send_order_rngs_.push_back(harness->scheduler_rng()->Split(
+          kSendOrderSplitKey + static_cast<uint64_t>(ls)));
+      const auto range =
+          ShardPool::ShardRange(static_cast<int64_t>(m), ls, order_shards);
+      std::vector<int>& list = send_order_sources_[ls];
+      list.clear();
+      list.reserve(static_cast<size_t>(range.second - range.first));
+      for (int64_t j = range.first; j < range.second; ++j) {
+        list.push_back(static_cast<int>(j));
+      }
+    }
+    if (shard_pool_ != nullptr) {
+      const size_t rings = static_cast<size_t>(order_shards) *
+                           static_cast<size_t>(shard_pool_->num_shards());
+      send_rings_.reserve(rings);
+      for (size_t i = 0; i < rings; ++i) {
+        send_rings_.push_back(
+            std::make_unique<SpscRing<Message>>(kSendRingCapacity));
+      }
+      send_spill_.assign(rings, {});
+    }
   }
 }
 
@@ -176,6 +233,10 @@ void CooperativeScheduler::FillFeedback(Message* /*feedback*/, int /*source_inde
                                         double /*t*/) {}
 
 void CooperativeScheduler::SendPhase(double t) {
+  if (config_.send_order_shards > 0) {
+    SendPhaseShardOrdered(t, /*invalidations=*/false);
+    return;
+  }
   if (shard_pool_ != nullptr) {
     SendPhaseSharded(t);
     return;
@@ -221,15 +282,31 @@ void CooperativeScheduler::SendPhaseSharded(double t) {
       [this] { harness_->scheduler_rng()->Shuffle(&source_order_); });
   // Flush: enqueue onto the shared tier-1 edges in the shuffled source
   // order — the exact order the serial phase enqueues in. Within a source
-  // the buffer holds its channels' messages in emission order.
-  for (int j : source_order_) {
-    std::vector<Message>& buffer = send_buffers_[j];
-    for (Message& message : buffer) {
-      Link& link = network_->first_hop_link(message.cache_id);
-      link.Enqueue(std::move(message));
+  // the buffer holds its channels' messages in emission order. The flush
+  // itself is sharded by first-hop node.
+  FlushSendBuffersSharded();
+}
+
+void CooperativeScheduler::FlushSendBuffersSharded() {
+  const int64_t num_nodes = network_->num_nodes();
+  shard_pool_->Run([this, num_nodes](int shard) {
+    // Every shard walks the full shuffled order and takes only the
+    // messages whose first-hop node it owns: link L sees its messages in
+    // the global scan order, and only shard OwnerOf(L) touches L. Reading
+    // message.cache_id next to another shard's move is race-free —
+    // cache_id and the moved vector header are distinct bytes, and
+    // cache_id is never written here.
+    const auto range =
+        ShardPool::ShardRange(num_nodes, shard, shard_pool_->num_shards());
+    for (int j : source_order_) {
+      for (Message& message : send_buffers_[j]) {
+        const int32_t node = network_->first_hop(message.cache_id);
+        if (node < range.first || node >= range.second) continue;
+        network_->first_hop_link(message.cache_id).Enqueue(std::move(message));
+      }
     }
-    buffer.clear();
-  }
+  });
+  for (int j : source_order_) send_buffers_[j].clear();
 }
 
 void CooperativeScheduler::SendInvalidationPhase(double t) {
@@ -238,6 +315,10 @@ void CooperativeScheduler::SendInvalidationPhase(double t) {
   // queue positions exactly like refreshes), the sharded mode overlaps the
   // shuffle with the buffered per-source drains, and the buffers flush in
   // the shuffled order.
+  if (config_.send_order_shards > 0) {
+    SendPhaseShardOrdered(t, /*invalidations=*/true);
+    return;
+  }
   if (shard_pool_ != nullptr) {
     shard_pool_->Run(
         [this, t](int shard) {
@@ -254,13 +335,7 @@ void CooperativeScheduler::SendInvalidationPhase(double t) {
           }
         },
         [this] { harness_->scheduler_rng()->Shuffle(&source_order_); });
-    for (int j : source_order_) {
-      std::vector<Message>& buffer = send_buffers_[j];
-      for (Message& message : buffer) {
-        network_->first_hop_link(message.cache_id).Enqueue(std::move(message));
-      }
-      buffer.clear();
-    }
+    FlushSendBuffersSharded();
     return;
   }
   harness_->scheduler_rng()->Shuffle(&source_order_);
@@ -275,6 +350,90 @@ void CooperativeScheduler::SendInvalidationPhase(double t) {
   }
 }
 
+void CooperativeScheduler::SendPhaseShardOrdered(double t, bool invalidations) {
+  const int order_shards = config_.send_order_shards;
+  if (shard_pool_ == nullptr) {
+    // Sequential reference: logical shards in ascending order, each
+    // shuffling its pinned source slice with its own child stream. The
+    // pooled path below reproduces this exact per-link enqueue order.
+    for (int ls = 0; ls < order_shards; ++ls) {
+      std::vector<int>& order = send_order_sources_[ls];
+      send_order_rngs_[ls].Shuffle(&order);
+      for (int j : order) {
+        SourceAgent& agent = *sources_[j];
+        Link* source_link = &network_->source_link(j);
+        for (int k = 0; k < agent.num_channels(); ++k) {
+          Link* first_hop = &network_->first_hop_link(agent.channel_cache_id(k));
+          if (invalidations) {
+            agent.SendInvalidations(t, source_link, first_hop, k);
+          } else {
+            agent.SendRefreshes(t, source_link, first_hop, k);
+          }
+        }
+      }
+    }
+    return;
+  }
+  const int lanes = shard_pool_->num_shards();
+  const int64_t num_nodes = network_->num_nodes();
+  // Produce: lane p serves logical shards ShardRange(order_shards, p,
+  // lanes) in ascending order, so every logical shard has exactly one
+  // producer and a pinned draw sequence. Each emitted message is routed to
+  // the lane owning its first-hop node through ring (ls, d); a full ring
+  // spills, preserving order (the consumer side is quiet until the
+  // barrier, so ring contents always precede the spill).
+  shard_pool_->Run([this, t, invalidations, order_shards, lanes,
+                    num_nodes](int p) {
+    const auto ls_range = ShardPool::ShardRange(order_shards, p, lanes);
+    for (int64_t ls = ls_range.first; ls < ls_range.second; ++ls) {
+      std::vector<int>& order = send_order_sources_[ls];
+      send_order_rngs_[ls].Shuffle(&order);
+      for (int j : order) {
+        SourceAgent& agent = *sources_[j];
+        std::vector<Message>& buffer = send_buffers_[j];
+        Link* source_link = &network_->source_link(j);
+        for (int k = 0; k < agent.num_channels(); ++k) {
+          if (invalidations) {
+            agent.SendInvalidationsBuffered(t, source_link, &buffer, k);
+          } else {
+            agent.SendRefreshesBuffered(t, source_link, &buffer, k);
+          }
+        }
+        for (Message& message : buffer) {
+          const int32_t node = network_->first_hop(message.cache_id);
+          const int d = ShardPool::ShardOf(num_nodes, node, lanes);
+          const size_t ring =
+              static_cast<size_t>(ls) * static_cast<size_t>(lanes) +
+              static_cast<size_t>(d);
+          if (!send_rings_[ring]->TryPush(std::move(message))) {
+            send_spill_[ring].push_back(std::move(message));
+          }
+        }
+        buffer.clear();
+      }
+    }
+  });
+  // Merge: lane d drains its ring column in logical-shard-major order —
+  // the same ls-ascending, within-ls-shuffled order as the sequential
+  // reference — touching only the links of its own node slice.
+  shard_pool_->Run([this, order_shards, lanes](int d) {
+    for (int ls = 0; ls < order_shards; ++ls) {
+      const size_t index =
+          static_cast<size_t>(ls) * static_cast<size_t>(lanes) +
+          static_cast<size_t>(d);
+      SpscRing<Message>& ring = *send_rings_[index];
+      Message message;
+      while (ring.TryPop(&message)) {
+        network_->first_hop_link(message.cache_id).Enqueue(std::move(message));
+      }
+      for (Message& spilled : send_spill_[index]) {
+        network_->first_hop_link(spilled.cache_id).Enqueue(std::move(spilled));
+      }
+      send_spill_[index].clear();
+    }
+  });
+}
+
 void CooperativeScheduler::CollectDeliveriesSharded() {
   shard_pool_->Run([this](int shard) {
     const auto range = ShardPool::ShardRange(
@@ -283,6 +442,57 @@ void CooperativeScheduler::CollectDeliveriesSharded() {
       if (caches_[c] == nullptr) continue;
       network_->cache_link(static_cast<int>(c))
           .CollectDeliverable(&deliver_buffers_[c]);
+    }
+  });
+}
+
+void CooperativeScheduler::ApplyDeliveriesSharded(double t) {
+  // Hoist the one cross-cache step of the apply: GroundTruth integrating
+  // its running sums up to t. The serial loop does this implicitly inside
+  // the FIRST OnCacheApply of the tick — so the hoist must fire exactly
+  // when such a first apply exists (a live, agent-bearing cache with a
+  // non-invalidate message); advancing on an apply-free tick would split
+  // the integration step and change float bits. After the hoist every
+  // apply call touches only per-cache state (the inner AdvanceTo sees
+  // dt == 0 and writes nothing), so caches can apply concurrently.
+  bool any_apply = false;
+  for (int c = 0; c < num_caches() && !any_apply; ++c) {
+    if (caches_[c] == nullptr) continue;
+    if (!cache_down_.empty() && cache_down_[c] != 0) continue;
+    for (const Message& message : deliver_buffers_[c]) {
+      if (message.kind != MessageKind::kInvalidate) {
+        any_apply = true;
+        break;
+      }
+    }
+  }
+  if (any_apply) harness_->AdvanceGroundTruths(t);
+  const bool reads = read_path_.enabled();
+  shard_pool_->Run([this, t, reads](int shard) {
+    const auto range = ShardPool::ShardRange(
+        static_cast<int64_t>(caches_.size()), shard, shard_pool_->num_shards());
+    for (int64_t c = range.first; c < range.second; ++c) {
+      CacheAgent* cache = caches_[c].get();
+      if (cache == nullptr) continue;
+      std::vector<Message>& collected = deliver_buffers_[c];
+      if (!cache_down_.empty() && cache_down_[c] != 0) {
+        // Crashed cache: the wire delivered (budget and loss accounting
+        // already happened in the collect half) but the process is gone.
+        collected.clear();
+        continue;
+      }
+      const bool track_resync = !resync_.empty() && resync_[c].open;
+      for (const Message& message : collected) {
+        if (message.kind == MessageKind::kInvalidate) {
+          read_path_.OnInvalidateDelivered(message, t);
+        } else {
+          harness_->DeliverRefresh(message, t);
+          cache->RecordRefresh(message, t);
+          if (reads) read_path_.OnRefreshDelivered(message, t);
+          if (track_resync) NoteResyncDelivery(static_cast<int>(c), message, t);
+        }
+      }
+      collected.clear();
     }
   });
 }
@@ -312,107 +522,107 @@ void CooperativeScheduler::RelayPhase(double t) {
 }
 
 void CooperativeScheduler::Tick(double t) {
-  // 0. Scripted faults due by now fire before the links begin the tick, so
-  //    a link partitioned at t has zero budget for the whole tick.
-  ApplyDueFaults(t);
+  PhaseTimer* const timer = config_.phase_timer;
+  {
+    PhaseTimer::Scope phase(timer, PhaseTimer::Phase::kBeginTick);
 
-  const double tick = harness_->config().tick_length;
-  network_->BeginTick(t, tick, shard_pool_.get());
+    // 0. Scripted faults due by now fire before the links begin the tick,
+    //    so a link partitioned at t has zero budget for the whole tick.
+    ApplyDueFaults(t);
 
-  // 1. Deliver control messages (feedback) that arrived since last tick;
-  //    feedback from cache c adjusts T_{j,c} only. In a tree the relays
-  //    first pump the mail up to the tier-1 edges (same-tick, so control
-  //    latency stays one tick at any depth); flat tier-1 nodes are the
-  //    caches themselves and the pump is a no-op.
-  relay_control_moved_ += network_->PumpControlUpstream();
-  for (int32_t node : network_->tier1_nodes()) {
-    for (int32_t j : sources_by_node_[node]) {
-      for (const Message& message : network_->TakeSourceMail(node, j)) {
-        if (message.kind == MessageKind::kPullRequest) {
-          ServePull(message, t);
-        } else {
-          sources_[j]->OnFeedback(message, t);
+    const double tick = harness_->config().tick_length;
+    network_->BeginTick(t, tick, shard_pool_.get());
+
+    // 1. Deliver control messages (feedback) that arrived since last tick;
+    //    feedback from cache c adjusts T_{j,c} only. In a tree the relays
+    //    first pump the mail up to the tier-1 edges (same-tick, so control
+    //    latency stays one tick at any depth); flat tier-1 nodes are the
+    //    caches themselves and the pump is a no-op.
+    relay_control_moved_ += network_->PumpControlUpstream();
+    for (int32_t node : network_->tier1_nodes()) {
+      for (int32_t j : sources_by_node_[node]) {
+        for (const Message& message : network_->TakeSourceMail(node, j)) {
+          if (message.kind == MessageKind::kPullRequest) {
+            ServePull(message, t);
+          } else {
+            sources_[j]->OnFeedback(message, t);
+          }
         }
       }
     }
   }
 
-  // 1b. Recovery refreshes for restarted caches (kRecoveryPriority) go out
-  //     ahead of the regular send phase: the cold cache's refill spends the
-  //     source budgets first, deferring ordinary pushes.
-  if (!fault_events_.empty() &&
-      config_.recovery_policy == RecoveryPolicy::kRecoveryPriority) {
-    RecoveryPhase(t);
-  }
+  {
+    PhaseTimer::Scope phase(timer, PhaseTimer::Phase::kSend);
 
-  // 2. Sources emit into the tier-1 edges of their target caches: refreshes
-  //    for over-threshold objects (push protocols), pending invalidation
-  //    notifications (invalidation), or nothing at all (TTL — replicas age
-  //    out with no source traffic, and no send-order randomness is drawn).
-  if (protocol_->emits_push_refreshes()) {
-    SendPhase(t);
-  } else if (protocol_->emits_invalidations()) {
-    SendInvalidationPhase(t);
+    // 1b. Recovery refreshes for restarted caches (kRecoveryPriority) go
+    //     out ahead of the regular send phase: the cold cache's refill
+    //     spends the source budgets first, deferring ordinary pushes.
+    if (!fault_events_.empty() &&
+        config_.recovery_policy == RecoveryPolicy::kRecoveryPriority) {
+      RecoveryPhase(t);
+    }
+
+    // 2. Sources emit into the tier-1 edges of their target caches:
+    //    refreshes for over-threshold objects (push protocols), pending
+    //    invalidation notifications (invalidation), or nothing at all (TTL
+    //    — replicas age out with no source traffic, and no send-order
+    //    randomness is drawn).
+    if (protocol_->emits_push_refreshes()) {
+      SendPhase(t);
+    } else if (protocol_->emits_invalidations()) {
+      SendInvalidationPhase(t);
+    }
   }
 
   // 2b. Relays store-and-forward queued refreshes hop by hop toward the
   //     leaves, each under its own ingress-edge and egress budgets.
-  RelayPhase(t);
+  {
+    PhaseTimer::Scope phase(timer, PhaseTimer::Phase::kRelay);
+    RelayPhase(t);
+  }
 
   // 3. Every cache-side link delivers queued refreshes within its budget.
   //    Sharded mode splits this in two: links pop their deliverable
-  //    messages concurrently, then the messages are applied serially in the
-  //    same cache-major order as the sequential loop — the apply updates
-  //    GroundTruth's global running sums, whose float-accumulation order
-  //    must not change.
+  //    messages concurrently, then each cache's messages are applied on
+  //    the shard owning the cache — cross-cache accumulation is hoisted or
+  //    replayed in the serial order (see ApplyDeliveriesSharded), so the
+  //    result is bitwise identical to the sequential loop.
   const bool reads = read_path_.enabled();
-  if (shard_pool_ != nullptr) {
-    CollectDeliveriesSharded();
-    for (int c = 0; c < num_caches(); ++c) {
-      CacheAgent* cache = caches_[c].get();
-      if (cache == nullptr) continue;
-      std::vector<Message>& collected = deliver_buffers_[c];
-      if (!cache_down_.empty() && cache_down_[c] != 0) {
-        // Crashed cache: the wire delivered (budget and loss accounting
-        // already happened in the collect half) but the process is gone.
-        collected.clear();
-        continue;
-      }
-      const bool track_resync = !resync_.empty() && resync_[c].open;
-      for (const Message& message : collected) {
-        if (message.kind == MessageKind::kInvalidate) {
-          read_path_.OnInvalidateDelivered(message, t);
-        } else {
-          harness_->DeliverRefresh(message, t);
-          cache->RecordRefresh(message, t);
-          if (reads) read_path_.OnRefreshDelivered(message, t);
-          if (track_resync) NoteResyncDelivery(c, message, t);
+  {
+    PhaseTimer::Scope phase(timer, PhaseTimer::Phase::kDeliverApply);
+    if (shard_pool_ != nullptr) {
+      CollectDeliveriesSharded();
+      ApplyDeliveriesSharded(t);
+    } else {
+      for (int c = 0; c < num_caches(); ++c) {
+        CacheAgent* cache = caches_[c].get();
+        if (cache == nullptr) continue;
+        if (!cache_down_.empty() && cache_down_[c] != 0) {
+          // Crashed cache: the wire still delivers (budget spent, loss
+          // drawn, delivery counted) but every message is lost at the dead
+          // process.
+          network_->cache_link(c).DeliverQueued([](const Message&) {});
+          continue;
         }
+        const bool track_resync = !resync_.empty() && resync_[c].open;
+        network_->cache_link(c).DeliverQueued([&](const Message& message) {
+          if (message.kind == MessageKind::kInvalidate) {
+            read_path_.OnInvalidateDelivered(message, t);
+          } else {
+            harness_->DeliverRefresh(message, t);
+            cache->RecordRefresh(message, t);
+            if (reads) read_path_.OnRefreshDelivered(message, t);
+            if (track_resync) NoteResyncDelivery(c, message, t);
+          }
+        });
       }
-      collected.clear();
     }
-  } else {
-    for (int c = 0; c < num_caches(); ++c) {
-      CacheAgent* cache = caches_[c].get();
-      if (cache == nullptr) continue;
-      if (!cache_down_.empty() && cache_down_[c] != 0) {
-        // Crashed cache: the wire still delivers (budget spent, loss drawn,
-        // delivery counted) but every message is lost at the dead process.
-        network_->cache_link(c).DeliverQueued([](const Message&) {});
-        continue;
-      }
-      const bool track_resync = !resync_.empty() && resync_[c].open;
-      network_->cache_link(c).DeliverQueued([&](const Message& message) {
-        if (message.kind == MessageKind::kInvalidate) {
-          read_path_.OnInvalidateDelivered(message, t);
-        } else {
-          harness_->DeliverRefresh(message, t);
-          cache->RecordRefresh(message, t);
-          if (reads) read_path_.OnRefreshDelivered(message, t);
-          if (track_resync) NoteResyncDelivery(c, message, t);
-        }
-      });
-    }
+    // Both branches record global-counter contributions into per-cache
+    // scratch; drain it in ascending cache order (the serial accumulation
+    // sequence) now that the applies are done.
+    read_path_.FlushDeliveryCounters();
+    DrainResyncNotes();
   }
 
   // 3b. Client reads up to this tick are served from the (just refreshed)
@@ -420,6 +630,7 @@ void CooperativeScheduler::Tick(double t) {
   //     each leaf edge's remaining budget — after this tick's deliveries,
   //     ahead of the surplus feedback below.
   if (reads) {
+    PhaseTimer::Scope phase(timer, PhaseTimer::Phase::kReadPath);
     read_path_.ProcessReads(t);
     read_path_.SendPullRequests(t, network_.get());
   }
@@ -428,6 +639,7 @@ void CooperativeScheduler::Tick(double t) {
   //    cache at the sources with the highest local thresholds there. Only
   //    the push protocols run it: invalidation / TTL sources have no
   //    thresholds to steer, so feedback would spend bandwidth on nothing.
+  PhaseTimer::Scope feedback_phase(timer, PhaseTimer::Phase::kFeedback);
   if (!protocol_->emits_push_refreshes()) return;
   for (int c = 0; c < num_caches(); ++c) {
     CacheAgent* cache = caches_[c].get();
@@ -585,20 +797,40 @@ void CooperativeScheduler::RecoveryPhase(double t) {
 
 void CooperativeScheduler::NoteResyncDelivery(int c, const Message& message,
                                               double t) {
+  // Runs inside the (possibly parallel) delivery apply: everything written
+  // here is per-cache — the global tallies get their contributions from
+  // DrainResyncNotes after the apply barrier.
   ResyncState& resync = resync_[c];
+  ResyncNote& scratch = resync_notes_[c];
   const auto note = [&](ObjectIndex index) {
     if (resync.outstanding[index] == 0) return;
     resync.outstanding[index] = 0;
     --resync.remaining;
-    ++resync_deliveries_;
+    ++scratch.deliveries;
   };
   note(message.object_index);
   for (const RefreshPayload& payload : message.extra_refreshes) {
     note(payload.object_index);
   }
   if (resync.remaining == 0) {
+    // Fires for the closing delivery AND every further tracked delivery of
+    // this tick (track_resync is latched at tick start): the episode
+    // duration enters the digest once per such message, matching the
+    // historical accounting exactly.
     resync.open = false;
-    resync_digest_.Add(t - resync.start);
+    ++scratch.close_adds;
+    scratch.duration = t - resync.start;
+  }
+}
+
+void CooperativeScheduler::DrainResyncNotes() {
+  for (ResyncNote& note : resync_notes_) {
+    resync_deliveries_ += note.deliveries;
+    note.deliveries = 0;
+    for (int64_t i = 0; i < note.close_adds; ++i) {
+      resync_digest_.Add(note.duration);
+    }
+    note.close_adds = 0;
   }
 }
 

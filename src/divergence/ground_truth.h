@@ -109,6 +109,17 @@ class GroundTruth {
     return entries_[ReplicaEntry(index, cache_id)].divergence;
   }
 
+  /// Integrates the running sums up to `t`. Normally implicit in the
+  /// event entry points, but exposed so the scheduler's parallel delivery
+  /// apply can hoist the one cross-cache step of OnCacheApply: after
+  /// AdvanceTo(t), concurrent OnCacheApply(..., t, ...) calls for distinct
+  /// caches touch disjoint state (the inner AdvanceTo sees dt == 0 and
+  /// writes nothing). Must be called with t >= the time of every
+  /// subsequent concurrent apply, and only on ticks where at least one
+  /// apply follows — an early advance on an apply-free tick would split
+  /// the integration step and change float bits vs the serial order.
+  void AdvanceTo(double t);
+
  private:
   struct Entry {
     double source_value = 0.0;
@@ -122,8 +133,6 @@ class GroundTruth {
 
   /// Flat entry index of object `index`'s replica at `cache_id` (checked).
   size_t ReplicaEntry(ObjectIndex index, int32_t cache_id) const;
-  /// Integrates the running sums up to `t`.
-  void AdvanceTo(double t);
   /// Replaces an entry's divergence, maintaining the running sums.
   void SetDivergence(Entry* entry, double divergence);
   /// Rebuilds the running sums from scratch (bounds accumulation error).

@@ -47,6 +47,8 @@ std::unique_ptr<Scheduler> MakeScheduler(const ExperimentConfig& config) {
       cooperative.recovery_policy = config.recovery_policy;
       cooperative.relay_store_policy = config.relay_store_policy;
       cooperative.run_threads = config.run_threads;
+      cooperative.send_order_shards = config.send_order_shards;
+      cooperative.phase_timer = config.phase_timer;
       return std::make_unique<CooperativeScheduler>(cooperative);
     }
     case SchedulerKind::kIdealCooperative: {

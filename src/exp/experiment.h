@@ -88,6 +88,14 @@ struct ExperimentConfig {
   /// phases (CooperativeConfig::run_threads); results are bitwise identical
   /// at any value. Ignored by the baseline schedulers (single-threaded).
   int run_threads = 1;
+  /// Opt-in per-shard send-order drawing
+  /// (CooperativeConfig::send_order_shards); 0 keeps the historical
+  /// main-thread shuffle. Any S > 0 is a different (still deterministic)
+  /// run. Ignored by the baseline schedulers.
+  int send_order_shards = 0;
+  /// Optional per-phase tick profiler (CooperativeConfig::phase_timer);
+  /// not owned. Wall-clock numbers — perf output only.
+  PhaseTimer* phase_timer = nullptr;
 
   /// CGM-specific knobs (bandwidth fields are overwritten from above).
   CGMConfig cgm;

@@ -183,7 +183,7 @@ void ReadPath::ResolveDelivery(CacheState* cache, ObjectIndex index, double t,
                                bool is_pull) {
   const int64_t slot = cache->store.SlotOf(index);
   if (slot < 0) return;
-  if (is_pull) ++pulls_delivered_;
+  if (is_pull) ++cache->scratch_pulls_delivered;
   cache->store.Install(slot, t, [this, cache](ObjectIndex member) {
     return ReplicaDivergence(*cache, member);
   });
@@ -201,9 +201,9 @@ void ReadPath::ResolveDelivery(CacheState* cache, ObjectIndex index, double t,
   if (pending.waiting_reads > 0) {
     cache->staleness.Add(ReplicaDivergence(*cache, index), pending.waiting_reads);
   }
-  miss_latency_sum_ +=
-      static_cast<double>(pending.waiting_reads) * t - pending.waiting_time_sum;
-  miss_latency_count_ += pending.waiting_reads;
+  cache->scratch_latency_terms.push_back(
+      static_cast<double>(pending.waiting_reads) * t - pending.waiting_time_sum);
+  cache->scratch_latency_count += pending.waiting_reads;
   pending = PendingPull{};
 }
 
@@ -221,7 +221,7 @@ void ReadPath::ApplyInvalidate(CacheState* cache, ObjectIndex index, double t) {
   const int64_t slot = cache->store.SlotOf(index);
   if (slot < 0) return;
   protocol_->OnInvalidate(&cache->store.sync_state(slot), t);
-  ++invalidations_received_;
+  ++cache->scratch_invalidations;
 }
 
 void ReadPath::OnCacheCrash(int cache_id, double now) {
@@ -250,6 +250,22 @@ void ReadPath::OnCacheRestart(int cache_id) {
   caches_[cache_id].down = false;
 }
 
+void ReadPath::FlushDeliveryCounters() {
+  if (!enabled_) return;
+  for (CacheState& cache : caches_) {
+    pulls_delivered_ += cache.scratch_pulls_delivered;
+    cache.scratch_pulls_delivered = 0;
+    invalidations_received_ += cache.scratch_invalidations;
+    cache.scratch_invalidations = 0;
+    miss_latency_count_ += cache.scratch_latency_count;
+    cache.scratch_latency_count = 0;
+    // Term-by-term, so the global sum's float rounding replays the serial
+    // cache-major apply exactly.
+    for (double term : cache.scratch_latency_terms) miss_latency_sum_ += term;
+    cache.scratch_latency_terms.clear();
+  }
+}
+
 void ReadPath::OnMeasurementStart() {
   if (!enabled_) return;
   reads_ = hits_ = misses_ = pull_requests_ = pulls_delivered_ = 0;
@@ -260,6 +276,12 @@ void ReadPath::OnMeasurementStart() {
   for (CacheState& cache : caches_) {
     cache.staleness.Reset();
     cache.store.ResetCounters();
+    // Scratch is drained every tick, so it is empty here — clear anyway so
+    // a warmup tick can never leak into the measured totals.
+    cache.scratch_pulls_delivered = 0;
+    cache.scratch_invalidations = 0;
+    cache.scratch_latency_count = 0;
+    cache.scratch_latency_terms.clear();
     // Warmup reads no longer count: pulls still in flight keep resolving
     // residency, but the reads waiting on them were never added to the
     // measured totals, so they must not inject staleness/latency samples.

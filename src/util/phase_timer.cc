@@ -1,0 +1,41 @@
+#include "util/phase_timer.h"
+
+#include <chrono>
+
+namespace besync {
+
+int64_t PhaseTimer::total_nanos() const {
+  int64_t total = 0;
+  for (const auto& phase : nanos_) total += phase.load(std::memory_order_relaxed);
+  return total;
+}
+
+void PhaseTimer::Reset() {
+  for (auto& phase : nanos_) phase.store(0, std::memory_order_relaxed);
+}
+
+const char* PhaseTimer::Name(Phase phase) {
+  switch (phase) {
+    case Phase::kBeginTick:
+      return "begin_tick";
+    case Phase::kSend:
+      return "send";
+    case Phase::kRelay:
+      return "relay";
+    case Phase::kDeliverApply:
+      return "deliver_apply";
+    case Phase::kReadPath:
+      return "read_path";
+    case Phase::kFeedback:
+      return "feedback";
+  }
+  return "unknown";
+}
+
+int64_t PhaseTimer::NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace besync

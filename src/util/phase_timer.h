@@ -1,0 +1,86 @@
+#ifndef BESYNC_UTIL_PHASE_TIMER_H_
+#define BESYNC_UTIL_PHASE_TIMER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace besync {
+
+/// Wall-clock accumulator for the cooperative tick's phases: each phase of
+/// every tick adds its duration, and the totals show where a run's wall
+/// time went (the Amdahl ledger behind bench_scale --perf's
+/// "phase_breakdown" block). Accumulation is atomic so one timer can be
+/// shared across concurrently running jobs (exp/runner.h); the numbers are
+/// wall times and therefore nondeterministic — they must never enter the
+/// deterministic run JSON, only the opt-in perf member.
+///
+/// A null-timer Scope is a branch and nothing else, so wiring the timer
+/// through the hot loop costs nothing when profiling is off.
+class PhaseTimer {
+ public:
+  /// The tick phases of core/system.cc's CooperativeScheduler::Tick, in
+  /// execution order. kBeginTick covers fault application, link advancement
+  /// and the control-mail drain; kSend covers recovery + send phases (push
+  /// or invalidation); kDeliverApply covers the delivery pop and the
+  /// cache-major apply; kReadPath covers reads + pull requests; kFeedback
+  /// the surplus-feedback phase.
+  enum class Phase : int {
+    kBeginTick = 0,
+    kSend,
+    kRelay,
+    kDeliverApply,
+    kReadPath,
+    kFeedback,
+  };
+  static constexpr int kNumPhases = 6;
+
+  PhaseTimer() = default;
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  void Add(Phase phase, int64_t nanos) {
+    nanos_[static_cast<int>(phase)].fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  int64_t nanos(Phase phase) const {
+    return nanos_[static_cast<int>(phase)].load(std::memory_order_relaxed);
+  }
+
+  /// Sum over all phases.
+  int64_t total_nanos() const;
+
+  void Reset();
+
+  /// Stable snake_case phase name ("begin_tick", "send", "relay",
+  /// "deliver_apply", "read_path", "feedback") — the JSON key.
+  static const char* Name(Phase phase);
+
+  /// Monotonic now, in nanoseconds (exposed for tests).
+  static int64_t NowNanos();
+
+  /// RAII phase section: measures construction-to-destruction and adds it
+  /// to `timer`. A null timer skips the clock reads entirely.
+  class Scope {
+   public:
+    Scope(PhaseTimer* timer, Phase phase) : timer_(timer), phase_(phase) {
+      if (timer_ != nullptr) start_ = NowNanos();
+    }
+    ~Scope() {
+      if (timer_ != nullptr) timer_->Add(phase_, NowNanos() - start_);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseTimer* timer_;
+    Phase phase_;
+    int64_t start_ = 0;
+  };
+
+ private:
+  std::atomic<int64_t> nanos_[kNumPhases] = {};
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_UTIL_PHASE_TIMER_H_

@@ -55,8 +55,24 @@ class ShardPool {
   /// Contiguous half-open range [first, last) of shard `shard` over `count`
   /// items: the canonical deterministic partition (sizes differ by at most
   /// one; depends only on (count, shard, num_shards)).
+  ///
+  /// Footgun when `count < num_shards`: the trailing shards get EMPTY
+  /// ranges, so a team sized past the item count silently idles those
+  /// lanes every Run() — pure fan-out/barrier overhead for zero work.
+  /// Worse, with the main_prelude overload the prelude still overlaps
+  /// only fn(0): an over-wide team does not hide more serial work, it
+  /// just wakes more threads. Callers should clamp their team size to
+  /// the largest per-shard item count (CooperativeScheduler::Initialize
+  /// clamps run_threads to max(num_sources, num_caches)).
   static std::pair<int64_t, int64_t> ShardRange(int64_t count, int shard,
                                                 int num_shards);
+
+  /// Inverse of ShardRange: the shard whose range contains `index`
+  /// (0 <= index < count). For every shard s and every i in
+  /// ShardRange(count, s, num_shards), ShardOf(count, i, num_shards) == s —
+  /// the routing function of cross-shard handoffs (which shard owns item
+  /// i?) without scanning ranges.
+  static int ShardOf(int64_t count, int64_t index, int num_shards);
 
  private:
   void WorkerLoop(int shard);

@@ -1,0 +1,91 @@
+#ifndef BESYNC_UTIL_SPSC_RING_H_
+#define BESYNC_UTIL_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace besync {
+
+/// A fixed-capacity single-producer/single-consumer ring: one thread calls
+/// TryPush, one (possibly different) thread calls TryPop, and the only
+/// synchronization is one release store per operation. This is the
+/// cross-shard message conduit of the sharded tick phases (the fx-recon
+/// idiom): producer shard s routes items to consumer shard d through the
+/// (s, d) ring, and per-ring FIFO order plus a pinned drain order makes the
+/// merged stream deterministic at any thread count.
+///
+/// Capacity is rounded up to a power of two. TryPush on a full ring returns
+/// false WITHOUT consuming the value — the caller keeps ownership and can
+/// spill (see core/system.cc, which drains spill vectors after the ring so
+/// per-producer order survives overflow). The ring never blocks and never
+/// allocates after construction.
+///
+/// Thread contract: at most one concurrent pusher and one concurrent
+/// popper. Either side may also be used single-threaded; a barrier (e.g.
+/// ShardPool::Run returning) is required before a *different* thread takes
+/// over a side.
+template <typename T>
+class SpscRing {
+ public:
+  /// A ring holding up to `capacity` items (>= 1, checked; rounded up to
+  /// the next power of two).
+  explicit SpscRing(size_t capacity) {
+    BESYNC_CHECK_GE(capacity, static_cast<size_t>(1));
+    size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Number of slots (the rounded-up capacity).
+  size_t capacity() const { return slots_.size(); }
+
+  /// True when no item is currently queued (exact only on the consumer
+  /// thread or across a barrier).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Producer side: moves `value` into the ring. Returns false — leaving
+  /// `value` untouched — when the ring is full.
+  bool TryPush(T&& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: moves the oldest item into `*out`. Returns false when
+  /// the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return false;
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  /// Consumer cursor (slots [head, tail) are occupied).
+  alignas(64) std::atomic<uint64_t> head_{0};
+  /// Producer cursor.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_UTIL_SPSC_RING_H_

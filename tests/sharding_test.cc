@@ -1,10 +1,11 @@
 // Intra-run sharding determinism tests: the cooperative scheduler's
 // run_threads knob must be invisible in every result field. Each case runs
 // one configuration at run_threads = 1 (the historical sequential engine),
-// 2 and 4, and demands EXACT equality — EXPECT_EQ on doubles, no
-// tolerance — across the divergence accounting and the full stats block.
-// A pinned golden constant guards against the serial baseline itself
-// drifting, which would let the equality checks pass vacuously.
+// 2, 4 and 8, and demands EXACT equality — EXPECT_EQ on doubles, no
+// tolerance — across the divergence accounting and the full stats block,
+// including the fault/resync counters. A pinned golden constant guards
+// against the serial baseline itself drifting, which would let the
+// equality checks pass vacuously.
 
 #include <cstdint>
 #include <vector>
@@ -13,6 +14,7 @@
 
 #include "core/system.h"
 #include "exp/experiment.h"
+#include "fault/fault_schedule.h"
 
 namespace besync {
 namespace {
@@ -76,14 +78,28 @@ void ExpectIdenticalRuns(const RunResult& serial, const RunResult& sharded) {
   EXPECT_EQ(a.pull_bandwidth_share, b.pull_bandwidth_share);
   EXPECT_EQ(a.invalidations_sent, b.invalidations_sent);
   EXPECT_EQ(a.invalidations_received, b.invalidations_received);
+  EXPECT_EQ(a.cache_crashes, b.cache_crashes);
+  EXPECT_EQ(a.cache_restarts, b.cache_restarts);
+  EXPECT_EQ(a.relay_failures, b.relay_failures);
+  EXPECT_EQ(a.link_down_events, b.link_down_events);
+  EXPECT_EQ(a.slowdown_events, b.slowdown_events);
+  EXPECT_EQ(a.crash_dropped_pulls, b.crash_dropped_pulls);
+  EXPECT_EQ(a.resync_deliveries, b.resync_deliveries);
+  EXPECT_EQ(a.resync_pending, b.resync_pending);
+  EXPECT_EQ(a.time_to_resync_mean, b.time_to_resync_mean);
+  EXPECT_EQ(a.time_to_resync_p95, b.time_to_resync_p95);
 }
 
-/// Runs `config` at 1/2/4 shards and checks both sharded runs against the
-/// serial one. Returns the serial result for golden pinning.
+/// Runs `config` at 1/2/4/8 shards and checks every sharded run against
+/// the serial one. Returns the serial result for golden pinning. The 8
+/// count oversubscribes most of these tiny topologies on purpose: the
+/// scheduler clamps its team to the widest shardable axis, and the clamp
+/// itself must not perturb results.
 RunResult CheckThreadInvariance(const ExperimentConfig& config) {
   const RunResult serial = RunAt(config, 1);
   ExpectIdenticalRuns(serial, RunAt(config, 2));
   ExpectIdenticalRuns(serial, RunAt(config, 4));
+  ExpectIdenticalRuns(serial, RunAt(config, 8));
   return serial;
 }
 
@@ -213,6 +229,71 @@ TEST(ShardingTest, ReadPathMatchesSerialExactly) {
   const RunResult serial = CheckThreadInvariance(config);
   EXPECT_GT(serial.scheduler.reads_total, 0);
   EXPECT_GT(serial.scheduler.cache_evictions, 0);
+}
+
+/// A fault schedule layered on the lossy partitioned workload: crashes,
+/// restarts-with-resync, a link flap and a slowdown all land mid-run. The
+/// cache-major parallel delivery apply buffers resync bookkeeping per
+/// cache and drains it serially; every resync counter and digest quantile
+/// must still match the serial engine bit for bit.
+TEST(ShardingTest, FaultScheduleMatchesSerialExactly) {
+  ExperimentConfig config;
+  config.workload.num_sources = 6;
+  config.workload.objects_per_source = 20;
+  config.workload.num_caches = 3;
+  config.workload.interest_pattern = InterestPattern::kPartitionedBySource;
+  config.workload.read.read_rate = 2.0;
+  config.workload.seed = 11;
+  config.harness.warmup = 20.0;
+  config.harness.measure = 120.0;
+  config.harness.seed = 5;
+  config.cache_bandwidth_avg = 6.0;
+  config.source_bandwidth_avg = 3.0;
+  config.loss_rate = 0.05;
+  config.workload.fault.cache_crashes = 2;
+  config.workload.fault.crash_cache = 0;
+  config.workload.fault.link_flaps = 1;
+  config.workload.fault.slowdowns = 1;
+  config.workload.fault.window_start = 40.0;
+  config.workload.fault.window_end = 120.0;
+  config.recovery_policy = RecoveryPolicy::kRecoveryPriority;
+  const RunResult serial = CheckThreadInvariance(config);
+  EXPECT_GT(serial.scheduler.cache_crashes, 0);
+  EXPECT_GT(serial.scheduler.resync_deliveries, 0);
+}
+
+/// The opt-in per-shard send-order mode (send_order_shards > 0) draws each
+/// logical shard's shuffle from its own Rng::Split child, so it is a
+/// *different* (equally valid) run than the default single-stream order —
+/// but with the shard count pinned it must itself be bitwise invariant
+/// across run_threads, including when threads exceed the shard count.
+TEST(ShardingTest, SendOrderShardsThreadInvariance) {
+  ExperimentConfig config;
+  config.workload.num_sources = 24;
+  config.workload.objects_per_source = 6;
+  config.workload.num_caches = 4;
+  config.workload.interest_pattern = InterestPattern::kPartitionedBySource;
+  config.workload.seed = 41;
+  config.harness.warmup = 20.0;
+  config.harness.measure = 100.0;
+  config.harness.seed = 7;
+  config.cache_bandwidth_avg = 5.0;
+  config.source_bandwidth_avg = 2.0;
+  config.loss_rate = 0.05;
+
+  const RunResult default_order = RunAt(config, 1);
+
+  config.send_order_shards = 3;
+  const RunResult serial = RunAt(config, 1);
+  ExpectIdenticalRuns(serial, RunAt(config, 2));
+  ExpectIdenticalRuns(serial, RunAt(config, 4));
+  ExpectIdenticalRuns(serial, RunAt(config, 8));
+
+  // The knob is live: shard-split RNG children produce a different send
+  // interleaving than the default stream, which this lossy contended
+  // config turns into a different (still deterministic) trajectory.
+  EXPECT_NE(serial.total_weighted_divergence,
+            default_order.total_weighted_divergence);
 }
 
 }  // namespace
