@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exp/runner.h"
+#include "obs/export.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
@@ -210,6 +211,75 @@ inline void EmitJson(const std::vector<JobResult>& results,
     std::exit(1);
   }
   std::fprintf(stderr, "wrote %s\n", options.json.c_str());
+}
+
+/// Observability flag surface shared by the obs-wired benches (append
+/// ObsFlagNames() to the bench's extra-flags list):
+///   --timeseries_out <path>    per-tick metric series (besync.timeseries.v1)
+///   --trace_out <path>         message-lifecycle + tick-phase trace
+///                              (besync.trace.v1; loads in Perfetto and
+///                              chrome://tracing)
+///   --obs_sample_interval <s>  time-series sample spacing (default 1.0)
+///   --obs_max_samples <n>      decimation budget per series (default 512)
+///   --trace_start <t> / --trace_end <t>  trace window, simulation seconds
+/// Either output path switches ObsConfig::enabled on; --trace_out also
+/// turns event tracing on. Enabling observability never changes run
+/// results, but it is a cooperative-engine feature — grids that include
+/// baseline schedulers must apply `config` to their cooperative jobs only.
+struct ObsBenchOptions {
+  std::string timeseries_out;
+  std::string trace_out;
+  ObsConfig config;
+
+  bool wanted() const { return !timeseries_out.empty() || !trace_out.empty(); }
+};
+
+inline std::vector<std::string> ObsFlagNames() {
+  return {"timeseries_out", "trace_out", "obs_sample_interval",
+          "obs_max_samples", "trace_start", "trace_end"};
+}
+
+inline ObsBenchOptions ObsFromFlags(const BenchOptions& options) {
+  ObsBenchOptions obs;
+  obs.timeseries_out = options.flags.GetString("timeseries_out", "");
+  obs.trace_out = options.flags.GetString("trace_out", "");
+  obs.config.enabled = obs.wanted();
+  obs.config.trace = !obs.trace_out.empty();
+  obs.config.sample_interval =
+      options.flags.GetDouble("obs_sample_interval", obs.config.sample_interval);
+  obs.config.max_samples = static_cast<int>(
+      options.flags.GetInt("obs_max_samples", obs.config.max_samples));
+  obs.config.trace_start =
+      options.flags.GetDouble("trace_start", obs.config.trace_start);
+  obs.config.trace_end = options.flags.GetDouble("trace_end", obs.config.trace_end);
+  return obs;
+}
+
+/// Writes the requested observability files from a finished grid, one entry
+/// per job in grid order (jobs that ran without obs enabled are skipped by
+/// the writers). Mirrors EmitJson: exits nonzero when a requested output
+/// cannot be written.
+inline void EmitObsOutputs(const std::vector<JobResult>& results,
+                           const ObsBenchOptions& obs) {
+  if (!obs.wanted()) return;
+  std::vector<ObsJob> jobs;
+  jobs.reserve(results.size());
+  for (const JobResult& job : results) {
+    jobs.push_back({job.name, job.result.obs.get()});
+  }
+  const auto emit = [&jobs](const std::string& path,
+                            Status (*write)(const std::string&,
+                                            const std::vector<ObsJob>&)) {
+    if (path.empty()) return;
+    const Status status = write(path, jobs);
+    if (!status.ok()) {
+      std::fprintf(stderr, "obs write failed: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  };
+  emit(obs.timeseries_out, &WriteTimeSeriesFile);
+  emit(obs.trace_out, &WriteTraceFile);
 }
 
 /// Exits nonzero on the first failed job, printing its name and status —

@@ -73,6 +73,11 @@ int Run(const BenchOptions& options) {
   config.base.run_threads =
       static_cast<int>(options.flags.GetInt("run_threads", 1));
   config.threads = options.threads;
+  // Observability outputs (--timeseries_out / --trace_out; bench_common.h).
+  // The fault sweep is cooperative-only, so the config applies to every job
+  // — this is the bench that shows a crash -> resync timeline in Perfetto.
+  const ObsBenchOptions obs = ObsFromFlags(options);
+  config.base.obs = obs.config;
 
   config.read_rate = options.flags.GetDouble("fault_read_rate", 2.0);
   config.crash_duration = options.flags.GetDouble("fault_crash_duration", 25.0);
@@ -174,6 +179,7 @@ int Run(const BenchOptions& options) {
   recovery.Print(std::cout);
 
   EmitJson(raw, options);
+  EmitObsOutputs(raw, obs);
   CheckJobsOk(raw);
   return 0;
 }
@@ -182,11 +188,12 @@ int Run(const BenchOptions& options) {
 }  // namespace besync
 
 int main(int argc, char** argv) {
-  return besync::Run(besync::BenchOptions::Parse(
-      argc, argv,
-      {"sources", "objects", "caches", "tiers", "protocols", "relay_factor",
-       "warmup", "measure", "cache_bw", "source_bw", "run_threads",
-       "fault_crashes", "fault_crash_duration", "fault_window_start",
-       "fault_window_end", "fault_read_rate", "fault_relay_failures",
-       "fault_seed"}));
+  std::vector<std::string> flags{
+      "sources", "objects", "caches", "tiers", "protocols", "relay_factor",
+      "warmup", "measure", "cache_bw", "source_bw", "run_threads",
+      "fault_crashes", "fault_crash_duration", "fault_window_start",
+      "fault_window_end", "fault_read_rate", "fault_relay_failures",
+      "fault_seed"};
+  for (std::string& flag : besync::ObsFlagNames()) flags.push_back(std::move(flag));
+  return besync::Run(besync::BenchOptions::Parse(argc, argv, std::move(flags)));
 }

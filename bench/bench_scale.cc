@@ -109,6 +109,10 @@ int Run(const BenchOptions& options) {
   const double cache_bandwidth = options.flags.GetDouble("bandwidth", 4.0);
   const double source_bandwidth = options.flags.GetDouble("source_bandwidth", 2.0);
 
+  // Observability outputs (--timeseries_out / --trace_out; bench_common.h).
+  // The whole grid is cooperative, so the config applies to every job.
+  const ObsBenchOptions obs = ObsFromFlags(options);
+
   // One timer per job (constructed up front: PhaseTimer is not movable),
   // so concurrently running jobs (--threads > 1) never share accumulators.
   std::vector<PhaseTimer> timers(sources_list.size() * run_threads_list.size());
@@ -137,6 +141,7 @@ int Run(const BenchOptions& options) {
       job.config.cache_bandwidth_avg = cache_bandwidth;
       job.config.source_bandwidth_avg = source_bandwidth;
       job.config.run_threads = run_threads;
+      job.config.obs = obs.config;
       if (options.perf) job.config.phase_timer = &timers[jobs.size()];
       job_run_threads.push_back(run_threads);
       jobs.push_back(std::move(job));
@@ -188,6 +193,7 @@ int Run(const BenchOptions& options) {
     }
     std::fprintf(stderr, "wrote %s\n", options.json.c_str());
   }
+  EmitObsOutputs(results, obs);
   CheckJobsOk(results);
 
   // Per-point reference cost for the parallel-efficiency column: the
@@ -242,9 +248,10 @@ int Run(const BenchOptions& options) {
 }  // namespace besync
 
 int main(int argc, char** argv) {
-  return besync::Run(besync::BenchOptions::Parse(
-      argc, argv,
-      {"sources_list", "objects_list", "caches_list", "run_threads",
-       "run_threads_list", "warmup", "measure", "rate_hi", "bandwidth",
-       "source_bandwidth"}));
+  std::vector<std::string> flags{
+      "sources_list", "objects_list", "caches_list", "run_threads",
+      "run_threads_list", "warmup", "measure", "rate_hi", "bandwidth",
+      "source_bandwidth"};
+  for (std::string& flag : besync::ObsFlagNames()) flags.push_back(std::move(flag));
+  return besync::Run(besync::BenchOptions::Parse(argc, argv, std::move(flags)));
 }

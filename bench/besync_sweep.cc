@@ -151,6 +151,10 @@ int Run(const BenchOptions& options) {
   // store to enforce it, so running them would mislabel unbounded results.
   const bool reads = read_rate > 0.0 || capacity > 0;
 
+  // Observability outputs (--timeseries_out / --trace_out; bench_common.h).
+  // Applied to the cooperative jobs of the grid only.
+  const ObsBenchOptions obs = ObsFromFlags(options);
+
   std::vector<SchedulerKind> schedulers;
   for (const std::string& name :
        SplitList(options.flags.GetString("schedulers", "cooperative"))) {
@@ -282,6 +286,11 @@ int Run(const BenchOptions& options) {
             }
             job.config.cache_bandwidth_avg = bandwidth;
             job.config.loss_rate = loss_rate;
+            // Cooperative jobs only: observability is not instrumented in
+            // the baselines (enabling it there is an InvalidArgument).
+            if (scheduler == SchedulerKind::kCooperative) {
+              job.config.obs = obs.config;
+            }
             job.name = SchedulerKindToString(scheduler) + "," +
                        (PolicySensitive(scheduler)
                             ? PolicyKindToString(policies[p])
@@ -326,6 +335,7 @@ int Run(const BenchOptions& options) {
     std::fprintf(stderr, "wrote %s\n", options.csv.c_str());
   }
   EmitJson(results, options);
+  EmitObsOutputs(results, obs);
   int failures = 0;
   for (const JobResult& job : results) {
     if (!job.status.ok()) {
@@ -341,9 +351,11 @@ int Run(const BenchOptions& options) {
 }  // namespace besync
 
 int main(int argc, char** argv) {
-  return besync::Run(besync::BenchOptions::Parse(
-      argc, argv,
-      {"schedulers", "policies", "caches", "bandwidths", "loss_rates", "sources",
-       "objects", "warmup", "measure", "workload", "buoys", "topology", "depth",
-       "fanout", "relay_factor", "read_rate", "capacity", "eviction"}));
+  std::vector<std::string> flags{
+      "schedulers", "policies",     "caches",   "bandwidths", "loss_rates",
+      "sources",    "objects",      "warmup",   "measure",    "workload",
+      "buoys",      "topology",     "depth",    "fanout",     "relay_factor",
+      "read_rate",  "capacity",     "eviction"};
+  for (std::string& flag : besync::ObsFlagNames()) flags.push_back(std::move(flag));
+  return besync::Run(besync::BenchOptions::Parse(argc, argv, std::move(flags)));
 }

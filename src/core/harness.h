@@ -21,6 +21,7 @@ namespace besync {
 
 class Harness;
 class Scheduler;
+struct ObsOutput;
 
 /// First multiple of `interval` strictly after `t`: the deadline for the
 /// next periodic weight refresh. Always > t, and by no more than `interval`,
@@ -160,6 +161,11 @@ class Scheduler {
   virtual void Finalize(double /*t*/) {}
 
   virtual SchedulerStats stats() const { return SchedulerStats{}; }
+
+  /// Hands over the run's observability output (obs/trace.h), or null for
+  /// schedulers without observability support / runs where it was disabled.
+  /// Call at most once, after the run.
+  virtual std::shared_ptr<ObsOutput> TakeObsOutput() { return nullptr; }
 };
 
 /// Owns the simulation clock, the object runtimes, the update event stream

@@ -22,7 +22,25 @@ RelayAgent::RelayAgent(int32_t node_id, RelayForwardPolicy policy,
   BESYNC_CHECK_GE(ingress_latency, 0.0);
 }
 
+void RelayAgent::RecordTrace(TraceEventKind kind, const Message& message,
+                             double t, double value) {
+  TraceEvent event;
+  event.kind = kind;
+  event.t = t;
+  event.node = node_id_;
+  event.source = message.source_index;
+  event.cache = message.cache_id;
+  event.object = message.object_index;
+  event.version = message.version;
+  event.is_pull = message.is_pull;
+  event.value = value;
+  trace_->Record(event);
+}
+
 void RelayAgent::OnArrival(const Message& message, double t) {
+  if (trace_ != nullptr) {
+    RecordTrace(TraceEventKind::kRelayStore, message, t, /*value=*/0.0);
+  }
   pending_.push_back(Stored{message, t, next_seq_++});
   ++received_;
   max_store_size_ = std::max(max_store_size_, store_size());
@@ -67,6 +85,10 @@ int64_t RelayAgent::Forward(double now,
     total_transit_delay_ += now - stored.message.send_time;
     ++forwarded_;
     ++sent;
+    if (trace_ != nullptr) {
+      RecordTrace(TraceEventKind::kRelayForward, stored.message, now,
+                  /*value=*/now - stored.arrival);
+    }
     forward(stored.message);
   }
   return sent;

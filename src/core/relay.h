@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "obs/trace.h"
 
 namespace besync {
 
@@ -44,6 +45,11 @@ class RelayAgent {
 
   int32_t node_id() const { return node_id_; }
   RelayForwardPolicy policy() const { return policy_; }
+
+  /// Observability wiring (obs/trace.h): records this relay's store and
+  /// forward events into `trace`. Null (the default) disables recording at
+  /// the cost of one pointer test per hook.
+  void SetTraceBuffer(TraceBuffer* trace) { trace_ = trace; }
 
   /// Stores a refresh delivered off the ingress edge at time `t`.
   void OnArrival(const Message& message, double t);
@@ -89,9 +95,16 @@ class RelayAgent {
   /// Index of the next ready_ message to forward under the policy.
   size_t PickNext() const;
 
+  /// Records one store/forward event into trace_ (callers test trace_
+  /// first). `value` carries the store wait for forward events.
+  void RecordTrace(TraceEventKind kind, const Message& message, double t,
+                   double value);
+
   int32_t node_id_;
   RelayForwardPolicy policy_;
   double ingress_latency_;
+  /// This relay's trace buffer; null unless observability tracing is on.
+  TraceBuffer* trace_ = nullptr;
   uint64_t next_seq_ = 0;
   /// Awaiting the ingress latency, in arrival order (arrivals are
   /// time-ordered, so eligibility times are nondecreasing).

@@ -207,7 +207,31 @@ void SourceAgent::Start(Simulation* sim, double tick_length) {
   }
 }
 
+void SourceAgent::RecordTrace(TraceEventKind kind, double t, int32_t cache_id,
+                              ObjectIndex index, int64_t version, bool is_pull) {
+  TraceEvent event;
+  event.kind = kind;
+  event.t = t;
+  event.source = index_;
+  event.cache = cache_id;
+  event.object = index;
+  event.version = version;
+  event.is_pull = is_pull;
+  trace_->Record(event);
+}
+
 void SourceAgent::OnObjectUpdate(ObjectIndex index, double t) {
+  if (trace_ != nullptr) {
+    // One enqueue per interested replica: the update is now pending toward
+    // each cache replicating the object (whatever machinery — threshold
+    // queue, wake-up, invalidation FIFO, or TTL aging — carries it there).
+    const int64_t version = harness_->object(index).state.version;
+    for (const Channel& channel : channels_) {
+      if (channel.slot_of[index - first_member_] < 0) continue;
+      RecordTrace(TraceEventKind::kEnqueue, t, channel.cache_id, index, version,
+                  /*is_pull=*/false);
+    }
+  }
   if (!push_protocol()) {
     // TTL: updates are silent — replicas age out on their own. Invalidation:
     // queue one notification per replica per staleness episode; a replica
@@ -346,6 +370,10 @@ void SourceAgent::EmitRefresh(Channel* channel, ObjectIndex index, double now,
   // information the cache can have about this source.
   message.piggyback_threshold = channel->controller.threshold();
   message.forward_priority = priority;
+  if (trace_ != nullptr) {
+    RecordTrace(TraceEventKind::kSend, now, channel->cache_id, index,
+                message.version, /*is_pull=*/false);
+  }
   sink.Deliver(std::move(message));
   ++state.epoch;
   ++refreshes_sent_;
@@ -380,6 +408,10 @@ Message SourceAgent::ServePull(ObjectIndex index, int32_t cache_id, double now) 
   // Demand traffic: priority-preserving relays forward pulls ahead of any
   // queued push.
   message.forward_priority = std::numeric_limits<double>::infinity();
+  if (trace_ != nullptr) {
+    RecordTrace(TraceEventKind::kSend, now, cache_id, index, message.version,
+                /*is_pull=*/true);
+  }
   // The replica is fresh now; invalidate any queued push entry so the next
   // send phase does not re-send the value the pull just delivered.
   ++state.epoch;
@@ -418,6 +450,12 @@ void SourceAgent::OnCacheRestart(int32_t cache_id, double now,
   for (int32_t slot = 0; slot < channel->num_members; ++slot) {
     const ObjectIndex index = channel->members[slot];
     resynced->push_back(index);
+    if (trace_ != nullptr) {
+      // The crash re-enqueues the replica: its next refresh (recovery FIFO,
+      // re-entered threshold queue, or demand pull) re-ships current state.
+      RecordTrace(TraceEventKind::kEnqueue, now, cache_id, index,
+                  harness_->object(index).state.version, /*is_pull=*/false);
+    }
     if (channel->invalid_state != nullptr) {
       // The crash is the notification: the restarted cache knows it holds
       // nothing valid, so the source's replica model moves to "notified" —
@@ -492,12 +530,19 @@ void SourceAgent::EmitBatch(Channel* channel, const std::vector<QueueEntry>& bat
     if (config_.monitor == MonitorMode::kSampling) {
       state.sampled.OnRefresh(now);
     }
+    int64_t version = 0;
     if (k == 0) {
       message = harness_->MakeRefreshMessage(index, channel->cache_id, now);
+      version = message.version;
     } else {
       const Message part = harness_->MakeRefreshMessage(index, channel->cache_id, now);
+      version = part.version;
       message.extra_refreshes.push_back(
           RefreshPayload{part.object_index, part.value, part.version});
+    }
+    if (trace_ != nullptr) {
+      RecordTrace(TraceEventKind::kSend, now, channel->cache_id, index, version,
+                  /*is_pull=*/false);
     }
     ++state.epoch;
     ++refreshes_sent_;
@@ -599,6 +644,10 @@ int64_t SourceAgent::SendInvalidationsToSink(double now, Link* source_link,
       }
       ++packed;
       ++invalidations_sent_;
+      if (trace_ != nullptr) {
+        RecordTrace(TraceEventKind::kInvalidateSend, now, channel->cache_id,
+                    object, /*version=*/0, /*is_pull=*/false);
+      }
     }
     channel->last_emit_time = now;
     sink.Deliver(std::move(message));

@@ -9,6 +9,7 @@
 #include "core/threshold.h"
 #include "fault/fault_schedule.h"
 #include "net/link.h"
+#include "obs/trace.h"
 #include "priority/history.h"
 #include "priority/priority.h"
 #include "priority/priority_queue.h"
@@ -202,6 +203,14 @@ class SourceAgent {
   /// first. The caller routes it (and charges the source link).
   Message ServePull(ObjectIndex index, int32_t cache_id, double now);
 
+  /// Observability wiring (obs/trace.h): records this source's lifecycle
+  /// events — update enqueues, refresh sends, invalidation sends, resync
+  /// re-enqueues — into `trace`. Null (the default) disables recording at
+  /// the cost of one pointer test per hook. Sources record only into their
+  /// own buffer, so the sharded send phase stays race-free and the
+  /// per-source event order is identical at any thread count.
+  void SetTraceBuffer(TraceBuffer* trace) { trace_ = trace; }
+
   /// Resets statistics counters (measurement start).
   void ResetCounters() {
     refreshes_sent_ = 0;
@@ -340,6 +349,9 @@ class SourceAgent {
   bool push_protocol() const {
     return protocol_ == nullptr || protocol_->emits_push_refreshes();
   }
+  /// Records one lifecycle event into trace_ (callers test trace_ first).
+  void RecordTrace(TraceEventKind kind, double t, int32_t cache_id,
+                   ObjectIndex index, int64_t version, bool is_pull);
   int64_t SendRefreshesEventKeyed(Channel* channel, double now, Link* source_link,
                                   const EmitSink& sink);
   int64_t SendRefreshesBatched(Channel* channel, double now, Link* source_link,
@@ -365,6 +377,8 @@ class SourceAgent {
   int64_t invalidations_sent_ = 0;
   double granted_rate_ = 0.0;
   Simulation* sim_ = nullptr;
+  /// This source's trace buffer; null unless observability tracing is on.
+  TraceBuffer* trace_ = nullptr;
   /// Send-phase scratch, reused across ticks so the per-tick loops do not
   /// reallocate (batched gathering and due time-varying wake-ups).
   std::vector<QueueEntry> scratch_batch_;

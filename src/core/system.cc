@@ -17,12 +17,53 @@ constexpr uint64_t kSendOrderSplitKey = 0x534F5244ULL;
 /// through the lock-free path.
 constexpr size_t kSendRingCapacity = 256;
 
+/// Records the kDeliver + kApply pair for a refresh-shaped message (primary
+/// payload and batch mates). Lives at the apply site — the one point with an
+/// identical per-cache message order in the serial and sharded engines — so
+/// trace bytes are independent of run_threads; kDeliver and kApply share the
+/// timestamp because the engine applies at arrival.
+void RecordDeliveryTrace(TraceBuffer* trace, const Message& message, double t) {
+  TraceEvent event;
+  event.t = t;
+  event.source = message.source_index;
+  event.cache = message.cache_id;
+  event.object = message.object_index;
+  event.version = message.version;
+  event.is_pull = message.is_pull;
+  event.kind = TraceEventKind::kDeliver;
+  trace->Record(event);
+  event.kind = TraceEventKind::kApply;
+  trace->Record(event);
+  for (const RefreshPayload& payload : message.extra_refreshes) {
+    event.object = payload.object_index;
+    event.version = payload.version;
+    event.kind = TraceEventKind::kDeliver;
+    trace->Record(event);
+    event.kind = TraceEventKind::kApply;
+    trace->Record(event);
+  }
+}
+
 }  // namespace
 
 CooperativeScheduler::CooperativeScheduler(const CooperativeConfig& config)
     : config_(config),
       policy_(MakePolicy(config.policy, config.history_beta)),
-      protocol_(SyncProtocol::Make(config.protocol)) {}
+      protocol_(SyncProtocol::Make(config.protocol)) {
+  // Scheduler-level tallies live in the metrics registry: registered once
+  // here, bumped at exactly one site each, and zeroed wholesale by
+  // metrics_.Reset() (Initialize and the measurement-start reset) — so the
+  // reset can never silently miss a newly added counter.
+  relay_control_moved_ = metrics_.AddCounter("relay_control_moved");
+  cache_crashes_ = metrics_.AddCounter("cache_crashes");
+  cache_restarts_ = metrics_.AddCounter("cache_restarts");
+  relay_failures_ = metrics_.AddCounter("relay_failures");
+  link_down_events_ = metrics_.AddCounter("link_down_events");
+  slowdown_events_ = metrics_.AddCounter("slowdown_events");
+  resync_deliveries_ = metrics_.AddCounter("resync_deliveries");
+  // Restart-to-fully-refilled durations of completed resync episodes.
+  resync_digest_ = metrics_.AddHistogram("time_to_resync");
+}
 
 void CooperativeScheduler::Initialize(Harness* harness) {
   harness_ = harness;
@@ -61,7 +102,6 @@ void CooperativeScheduler::Initialize(Harness* harness) {
     }
   }
   relays_.clear();
-  relay_control_moved_ = 0;
   for (int n = num_caches; n < network_->num_nodes(); ++n) {
     const double rate = topology.EdgeValue(topology.edge_loss, n, 0.0);
     if (rate > 0.0) {
@@ -90,10 +130,7 @@ void CooperativeScheduler::Initialize(Harness* harness) {
     cache_down_.assign(static_cast<size_t>(num_caches), 0);
     resync_.assign(static_cast<size_t>(num_caches), ResyncState{});
   }
-  cache_crashes_ = cache_restarts_ = relay_failures_ = 0;
-  link_down_events_ = slowdown_events_ = 0;
-  resync_deliveries_ = 0;
-  resync_digest_.Reset();
+  metrics_.Reset();
 
   // The paper's P_feedback estimate, per cache: sources interested in the
   // cache / the cache's average bandwidth. Floored at one tick: feedback is
@@ -208,6 +245,66 @@ void CooperativeScheduler::Initialize(Harness* harness) {
             std::make_unique<SpscRing<Message>>(kSendRingCapacity));
       }
       send_spill_.assign(rings, {});
+    }
+  }
+
+  // Observability (config_.obs.enabled only): build the collector, fix the
+  // time-series columns, and hand every recording site its per-entity trace
+  // buffer. Disabled, nothing is allocated and every hook in the engine
+  // stays a single cold null test.
+  obs_.reset();
+  obs_row_.clear();
+  if (config_.obs.enabled) {
+    obs_ = std::make_unique<ObsCollector>(config_.obs, m, num_caches,
+                                          static_cast<int>(relays_.size()), tick);
+    std::vector<std::string> columns;
+    columns.push_back("total_weighted_divergence");
+    const int per_cache = std::min(num_caches, config_.obs.max_per_cache_series);
+    for (int c = 0; c < per_cache; ++c) {
+      columns.push_back("cache_divergence_" + std::to_string(c));
+    }
+    columns.push_back("source_queue_depth");
+    columns.push_back("recovery_queue_depth");
+    columns.push_back("link_queue");
+    columns.push_back("link_deficit");
+    columns.push_back("link_utilization");
+    columns.push_back("relay_store");
+    columns.push_back("reads");
+    columns.push_back("read_hits");
+    columns.push_back("staleness_mean");
+    columns.push_back("pending_pulls");
+    columns.push_back("resync_outstanding");
+    if (config_.obs.sample_phase_nanos && config_.phase_timer != nullptr) {
+      // Opt-in wall-clock columns: nondeterministic by nature, so they are
+      // never part of the byte-stable default schema.
+      for (int p = 0; p < PhaseTimer::kNumPhases; ++p) {
+        columns.push_back(std::string("phase_") +
+                          PhaseTimer::Name(static_cast<PhaseTimer::Phase>(p)) +
+                          "_nanos");
+      }
+    }
+    obs_->series()->Configure(std::move(columns), config_.obs.sample_interval,
+                              config_.obs.max_samples);
+    obs_row_.assign(obs_->series()->columns().size(), 0.0);
+    if (obs_->trace_enabled()) {
+      for (int j = 0; j < m; ++j) {
+        sources_[j]->SetTraceBuffer(obs_->source_buffer(j));
+      }
+      std::vector<TraceBuffer*> cache_buffers(static_cast<size_t>(num_caches));
+      for (int c = 0; c < num_caches; ++c) {
+        cache_buffers[c] = obs_->cache_buffer(c);
+        network_->cache_link(c).SetTrace(obs_->cache_buffer(c), c);
+      }
+      read_path_.SetTraceBuffers(std::move(cache_buffers));
+      for (size_t r = 0; r < relays_.size(); ++r) {
+        TraceBuffer* buffer = obs_->relay_buffer(static_cast<int>(r));
+        relays_[r]->SetTraceBuffer(buffer);
+        network_->edge_link(relays_[r]->node_id()).SetTrace(buffer,
+                                                            relays_[r]->node_id());
+      }
+    }
+    if (config_.phase_timer != nullptr) {
+      obs_prev_phase_ = config_.phase_timer->TakeSnapshot();
     }
   }
 }
@@ -482,10 +579,13 @@ void CooperativeScheduler::ApplyDeliveriesSharded(double t) {
         continue;
       }
       const bool track_resync = !resync_.empty() && resync_[c].open;
+      TraceBuffer* const trace =
+          obs_ != nullptr ? obs_->cache_buffer(static_cast<int>(c)) : nullptr;
       for (const Message& message : collected) {
         if (message.kind == MessageKind::kInvalidate) {
           read_path_.OnInvalidateDelivered(message, t);
         } else {
+          if (trace != nullptr) RecordDeliveryTrace(trace, message, t);
           harness_->DeliverRefresh(message, t);
           cache->RecordRefresh(message, t);
           if (reads) read_path_.OnRefreshDelivered(message, t);
@@ -538,7 +638,7 @@ void CooperativeScheduler::Tick(double t) {
     //    first pump the mail up to the tier-1 edges (same-tick, so control
     //    latency stays one tick at any depth); flat tier-1 nodes are the
     //    caches themselves and the pump is a no-op.
-    relay_control_moved_ += network_->PumpControlUpstream();
+    relay_control_moved_->Increment(network_->PumpControlUpstream());
     for (int32_t node : network_->tier1_nodes()) {
       for (int32_t j : sources_by_node_[node]) {
         for (const Message& message : network_->TakeSourceMail(node, j)) {
@@ -606,10 +706,13 @@ void CooperativeScheduler::Tick(double t) {
           continue;
         }
         const bool track_resync = !resync_.empty() && resync_[c].open;
+        TraceBuffer* const trace =
+            obs_ != nullptr ? obs_->cache_buffer(c) : nullptr;
         network_->cache_link(c).DeliverQueued([&](const Message& message) {
           if (message.kind == MessageKind::kInvalidate) {
             read_path_.OnInvalidateDelivered(message, t);
           } else {
+            if (trace != nullptr) RecordDeliveryTrace(trace, message, t);
             harness_->DeliverRefresh(message, t);
             cache->RecordRefresh(message, t);
             if (reads) read_path_.OnRefreshDelivered(message, t);
@@ -639,28 +742,38 @@ void CooperativeScheduler::Tick(double t) {
   //    cache at the sources with the highest local thresholds there. Only
   //    the push protocols run it: invalidation / TTL sources have no
   //    thresholds to steer, so feedback would spend bandwidth on nothing.
-  PhaseTimer::Scope feedback_phase(timer, PhaseTimer::Phase::kFeedback);
-  if (!protocol_->emits_push_refreshes()) return;
-  for (int c = 0; c < num_caches(); ++c) {
-    CacheAgent* cache = caches_[c].get();
-    if (cache == nullptr) continue;
-    // A dead process sends no feedback.
-    if (!cache_down_.empty() && cache_down_[c] != 0) continue;
-    const int64_t surplus = network_->cache_link(c).remaining_budget();
-    if (surplus <= 0) continue;
-    const std::vector<int> targets = cache->SelectFeedbackTargets(surplus, t);
-    for (int j : targets) {
-      // Feedback consumes the (otherwise idle) surplus capacity.
-      const int64_t granted = network_->cache_link(c).ConsumeBudget(1);
-      BESYNC_DCHECK(granted == 1);
-      Message feedback;
-      feedback.kind = MessageKind::kFeedback;
-      feedback.source_index = j;
-      feedback.send_time = t;
-      FillFeedback(&feedback, j, t);
-      network_->SendToSource(c, j, feedback);
+  {
+    PhaseTimer::Scope feedback_phase(timer, PhaseTimer::Phase::kFeedback);
+    if (protocol_->emits_push_refreshes()) {
+      for (int c = 0; c < num_caches(); ++c) {
+        CacheAgent* cache = caches_[c].get();
+        if (cache == nullptr) continue;
+        // A dead process sends no feedback.
+        if (!cache_down_.empty() && cache_down_[c] != 0) continue;
+        const int64_t surplus = network_->cache_link(c).remaining_budget();
+        if (surplus <= 0) continue;
+        const std::vector<int> targets = cache->SelectFeedbackTargets(surplus, t);
+        for (int j : targets) {
+          // Feedback consumes the (otherwise idle) surplus capacity.
+          const int64_t granted = network_->cache_link(c).ConsumeBudget(1);
+          BESYNC_DCHECK(granted == 1);
+          Message feedback;
+          feedback.kind = MessageKind::kFeedback;
+          feedback.source_index = j;
+          feedback.send_time = t;
+          FillFeedback(&feedback, j, t);
+          network_->SendToSource(c, j, feedback);
+        }
+      }
     }
   }
+
+  // 5. End-of-tick observability: register the tick on the phase-slice
+  //    grid and sample the time series when one is due. Runs after every
+  //    phase so the sampled state is the tick's final state; reads only
+  //    const accessors and draws no randomness (DESIGN.md, "Observability
+  //    without perturbation").
+  if (obs_ != nullptr) ObsOnTickEnd(t);
 }
 
 void CooperativeScheduler::RebuildSourcesByNode() {
@@ -694,12 +807,32 @@ void CooperativeScheduler::ApplyDueFaults(double t) {
 }
 
 void CooperativeScheduler::ApplyFaultEvent(const FaultEvent& event, double t) {
+  if (obs_ != nullptr && obs_->main_buffer() != nullptr) {
+    // Scripted faults are run-level events: they go to the main buffer,
+    // stamped with the target node (also mirrored into `cache` for cache
+    // faults so cache-filtered traces keep their fault context).
+    TraceEvent trace;
+    trace.kind = TraceEventKind::kFault;
+    trace.t = t;
+    trace.node = event.node;
+    trace.aux = static_cast<int64_t>(event.kind);
+    trace.value = event.factor;
+    if (event.kind == FaultEventKind::kCacheCrash ||
+        event.kind == FaultEventKind::kCacheRestart ||
+        event.kind == FaultEventKind::kLinkDown ||
+        event.kind == FaultEventKind::kLinkUp ||
+        event.kind == FaultEventKind::kSlowDown ||
+        event.kind == FaultEventKind::kSlowRecover) {
+      trace.cache = event.node;
+    }
+    obs_->main_buffer()->Record(trace);
+  }
   switch (event.kind) {
     case FaultEventKind::kCacheCrash: {
       const int c = event.node;
       if (cache_down_[c] != 0) return;  // already down
       cache_down_[c] = 1;
-      ++cache_crashes_;
+      cache_crashes_->Increment();
       read_path_.OnCacheCrash(c, t);
       // A crash mid-recovery abandons the episode (its duration is never
       // recorded); the next restart opens a fresh one.
@@ -711,7 +844,7 @@ void CooperativeScheduler::ApplyFaultEvent(const FaultEvent& event, double t) {
       const int c = event.node;
       if (cache_down_[c] == 0) return;  // never crashed / already back
       cache_down_[c] = 0;
-      ++cache_restarts_;
+      cache_restarts_->Increment();
       read_path_.OnCacheRestart(c);
       // Every source re-ships (or at least re-tracks) its replicas at the
       // cold cache; the union is this restart's outstanding set.
@@ -734,12 +867,21 @@ void CooperativeScheduler::ApplyFaultEvent(const FaultEvent& event, double t) {
       }
       resync.start = t;
       resync.open = resync.remaining > 0;
+      if (resync.open && obs_ != nullptr && obs_->main_buffer() != nullptr) {
+        TraceEvent trace;
+        trace.kind = TraceEventKind::kResyncStart;
+        trace.t = t;
+        trace.cache = c;
+        trace.node = c;
+        trace.aux = resync.remaining;
+        obs_->main_buffer()->Record(trace);
+      }
       return;
     }
     case FaultEventKind::kRelayFail: {
       const int32_t node = event.node;
       if (!network_->relay_alive(node)) return;
-      ++relay_failures_;
+      relay_failures_->Increment();
       // Everything the relay held: its store (received, not forwarded yet)
       // and its ingress queue (in flight toward it).
       std::vector<Message> stranded = relay(node).TakeStored();
@@ -764,14 +906,16 @@ void CooperativeScheduler::ApplyFaultEvent(const FaultEvent& event, double t) {
       RebuildSourcesByNode();
       return;
     case FaultEventKind::kLinkDown:
-      if (!network_->cache_link(event.node).is_down()) ++link_down_events_;
+      if (!network_->cache_link(event.node).is_down()) {
+        link_down_events_->Increment();
+      }
       network_->cache_link(event.node).SetDown(true);
       return;
     case FaultEventKind::kLinkUp:
       network_->cache_link(event.node).SetDown(false);
       return;
     case FaultEventKind::kSlowDown:
-      ++slowdown_events_;
+      slowdown_events_->Increment();
       network_->cache_link(event.node).SetBandwidthFactor(event.factor);
       return;
     case FaultEventKind::kSlowRecover:
@@ -817,6 +961,20 @@ void CooperativeScheduler::NoteResyncDelivery(int c, const Message& message,
     // this tick (track_resync is latched at tick start): the episode
     // duration enters the digest once per such message, matching the
     // historical accounting exactly.
+    if (resync.open && obs_ != nullptr) {
+      // First closing call only (resync.open is still set). Runs inside the
+      // possibly-parallel apply, so the event goes to cache c's own buffer.
+      TraceBuffer* const trace = obs_->cache_buffer(c);
+      if (trace != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::kResyncDone;
+        event.t = t;
+        event.cache = c;
+        event.node = c;
+        event.value = t - resync.start;
+        trace->Record(event);
+      }
+    }
     resync.open = false;
     ++scratch.close_adds;
     scratch.duration = t - resync.start;
@@ -825,10 +983,10 @@ void CooperativeScheduler::NoteResyncDelivery(int c, const Message& message,
 
 void CooperativeScheduler::DrainResyncNotes() {
   for (ResyncNote& note : resync_notes_) {
-    resync_deliveries_ += note.deliveries;
+    resync_deliveries_->Increment(note.deliveries);
     note.deliveries = 0;
     for (int64_t i = 0; i < note.close_adds; ++i) {
-      resync_digest_.Add(note.duration);
+      resync_digest_->Add(note.duration);
     }
     note.close_adds = 0;
   }
@@ -841,15 +999,12 @@ void CooperativeScheduler::OnMeasurementStart(double /*t*/) {
   }
   for (auto& source : sources_) source->ResetCounters();
   for (auto& relay : relays_) relay->ResetCounters();
-  relay_control_moved_ = 0;
   read_path_.OnMeasurementStart();
-  // Fault/recovery counters re-zero like everything else; an episode still
-  // open at the boundary stays open (it closes — and is recorded — inside
-  // the window).
-  cache_crashes_ = cache_restarts_ = relay_failures_ = 0;
-  link_down_events_ = slowdown_events_ = 0;
-  resync_deliveries_ = 0;
-  resync_digest_.Reset();
+  // Every scheduler-level tally — relay control moves, the fault/recovery
+  // counters, the resync digest — re-zeroes in one registry sweep; an
+  // episode still open at the boundary stays open (it closes — and is
+  // recorded — inside the window).
+  metrics_.Reset();
 }
 
 void CooperativeScheduler::ServePull(const Message& request, double t) {
@@ -866,6 +1021,77 @@ void CooperativeScheduler::ServePull(const Message& request, double t) {
 }
 
 void CooperativeScheduler::Finalize(double /*t*/) { network_->FinishTick(); }
+
+void CooperativeScheduler::ObsOnTickEnd(double t) {
+  obs_->NoteTick(t);
+  if (obs_->series()->Due(t)) ObsSample(t);
+}
+
+void CooperativeScheduler::ObsSample(double t) {
+  // Column order mirrors the Configure() call in Initialize exactly. Every
+  // read below is a const accessor over state the tick already settled:
+  // no RNG draws, no lazy evaluation, no mutation — sampling cannot move a
+  // single bit of the run.
+  std::vector<double>& row = obs_row_;
+  size_t i = 0;
+  const GroundTruth& truth = harness_->ground_truth();
+  double total = 0.0;
+  for (int c = 0; c < num_caches(); ++c) total += truth.CurrentWeightedSum(c);
+  row[i++] = total;
+  const int per_cache = std::min(num_caches(), config_.obs.max_per_cache_series);
+  for (int c = 0; c < per_cache; ++c) row[i++] = truth.CurrentWeightedSum(c);
+  double queue_depth = 0.0, recovery_depth = 0.0;
+  for (const auto& source : sources_) {
+    for (int k = 0; k < source->num_channels(); ++k) {
+      queue_depth += static_cast<double>(source->queue_size(k));
+      recovery_depth += static_cast<double>(source->recovery_queue_size(k));
+    }
+  }
+  row[i++] = queue_depth;
+  row[i++] = recovery_depth;
+  double link_queue = 0.0, link_deficit = 0.0, used = 0.0, capacity = 0.0;
+  for (int c = 0; c < num_caches(); ++c) {
+    const Link& link = network_->cache_link(c);
+    link_queue += static_cast<double>(link.queue_size());
+    link_deficit +=
+        static_cast<double>(std::max<int64_t>(-link.remaining_budget(), 0));
+    used += link.utilization().used();
+    capacity += link.utilization().capacity();
+  }
+  row[i++] = link_queue;
+  row[i++] = link_deficit;
+  row[i++] = capacity > 0.0 ? used / capacity : 0.0;
+  double relay_store = 0.0;
+  for (const auto& relay : relays_) {
+    relay_store += static_cast<double>(relay->store_size());
+  }
+  row[i++] = relay_store;
+  row[i++] = static_cast<double>(read_path_.reads_so_far());
+  row[i++] = static_cast<double>(read_path_.hits_so_far());
+  row[i++] = read_path_.StalenessMeanSoFar();
+  row[i++] = static_cast<double>(read_path_.pull_requests_so_far() -
+                                 read_path_.pulls_delivered_so_far());
+  double outstanding = 0.0;
+  for (const ResyncState& resync : resync_) {
+    if (resync.open) outstanding += static_cast<double>(resync.remaining);
+  }
+  row[i++] = outstanding;
+  if (config_.obs.sample_phase_nanos && config_.phase_timer != nullptr) {
+    const PhaseTimer::Snapshot snapshot = config_.phase_timer->TakeSnapshot();
+    const PhaseTimer::Snapshot delta = PhaseTimer::Delta(snapshot, obs_prev_phase_);
+    obs_prev_phase_ = snapshot;
+    for (int p = 0; p < PhaseTimer::kNumPhases; ++p) {
+      row[i++] = static_cast<double>(delta.nanos[p]);
+    }
+  }
+  BESYNC_DCHECK(i == row.size());
+  obs_->series()->Append(t, row);
+}
+
+std::shared_ptr<ObsOutput> CooperativeScheduler::TakeObsOutput() {
+  if (obs_ == nullptr) return nullptr;
+  return obs_->Finish();
+}
 
 SchedulerStats CooperativeScheduler::stats() const {
   SchedulerStats stats;
@@ -915,7 +1141,7 @@ SchedulerStats CooperativeScheduler::stats() const {
     stats.relay_transit_delay_mean =
         relay_transit_sum / static_cast<double>(stats.relays_forwarded);
   }
-  stats.relay_control_moved = relay_control_moved_;
+  stats.relay_control_moved = relay_control_moved_->value();
   if (read_path_.enabled()) {
     const ReadPathCounters reads = read_path_.Counters();
     stats.reads_total = reads.reads;
@@ -944,21 +1170,21 @@ SchedulerStats CooperativeScheduler::stats() const {
                               static_cast<double>(total_units)
                         : 0.0;
   }
-  stats.cache_crashes = cache_crashes_;
-  stats.cache_restarts = cache_restarts_;
-  stats.relay_failures = relay_failures_;
-  stats.link_down_events = link_down_events_;
-  stats.slowdown_events = slowdown_events_;
+  stats.cache_crashes = cache_crashes_->value();
+  stats.cache_restarts = cache_restarts_->value();
+  stats.relay_failures = relay_failures_->value();
+  stats.link_down_events = link_down_events_->value();
+  stats.slowdown_events = slowdown_events_->value();
   if (read_path_.enabled()) {
     stats.crash_dropped_pulls = read_path_.crash_dropped_pulls();
   }
-  stats.resync_deliveries = resync_deliveries_;
+  stats.resync_deliveries = resync_deliveries_->value();
   for (const ResyncState& resync : resync_) {
     if (resync.open) stats.resync_pending += resync.remaining;
   }
-  if (!resync_digest_.empty()) {
-    stats.time_to_resync_mean = resync_digest_.mean();
-    stats.time_to_resync_p95 = resync_digest_.Quantile(0.95);
+  if (!resync_digest_->digest().empty()) {
+    stats.time_to_resync_mean = resync_digest_->digest().mean();
+    stats.time_to_resync_p95 = resync_digest_->digest().Quantile(0.95);
   }
   return stats;
 }
@@ -982,6 +1208,7 @@ Result<RunResult> RunScheduler(const Workload* workload, const DivergenceMetric*
   result.per_object_unweighted = harness.ground_truth().PerObjectUnweightedAverage();
   result.total_replicas = harness.ground_truth().total_replicas();
   result.scheduler = scheduler->stats();
+  result.obs = scheduler->TakeObsOutput();
   return result;
 }
 

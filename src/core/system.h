@@ -11,6 +11,9 @@
 #include "core/source.h"
 #include "fault/fault_schedule.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/obs_config.h"
+#include "obs/trace.h"
 #include "priority/priority.h"
 #include "protocol/sync_protocol.h"
 #include "read/read_path.h"
@@ -106,6 +109,12 @@ struct CooperativeConfig {
   /// nondeterministic — surface them only in opt-in perf output, never in
   /// the run JSON. Null (default) costs one branch per phase.
   PhaseTimer* phase_timer = nullptr;
+  /// Observability (src/obs/): per-tick time series and message-lifecycle
+  /// tracing. Disabled (default) allocates nothing and leaves every hook a
+  /// null-pointer test; enabled, the collectors only read engine state, so
+  /// run results stay byte-identical either way (see DESIGN.md,
+  /// "Observability without perturbation").
+  ObsConfig obs;
 };
 
 /// "Our algorithm": the adaptive threshold-based cooperative refresh
@@ -133,6 +142,7 @@ class CooperativeScheduler : public Scheduler {
   /// Flushes the last tick into the link utilization stats.
   void Finalize(double t) override;
   SchedulerStats stats() const override;
+  std::shared_ptr<ObsOutput> TakeObsOutput() override;
 
   // Introspection (tests, competitive subclass).
   int num_sources() const { return static_cast<int>(sources_.size()); }
@@ -153,6 +163,12 @@ class CooperativeScheduler : public Scheduler {
   bool cache_down(int c) const {
     return !cache_down_.empty() && cache_down_[c] != 0;
   }
+  /// The scheduler-level metrics (fault tallies, resync digest, relay
+  /// control moves): every field SchedulerStats aggregates from the
+  /// scheduler itself lives here, registered once and reset in one call
+  /// (tests/stats_reset_test.cc iterates this to prove the measurement
+  /// reset misses nothing).
+  const MetricsRegistry& metrics_registry() const { return metrics_; }
 
  protected:
   /// Hook for subclasses to decorate outgoing feedback (competitive rate
@@ -273,7 +289,6 @@ class CooperativeScheduler : public Scheduler {
   std::vector<std::vector<int32_t>> sources_by_node_;
   std::vector<int> source_order_;
   std::vector<int32_t> object_source_;
-  int64_t relay_control_moved_ = 0;
   /// Client read streams, residency/eviction and pull bookkeeping; inert
   /// (and branch-free on the hot paths) when the workload disables reads.
   ReadPath read_path_;
@@ -338,14 +353,39 @@ class CooperativeScheduler : public Scheduler {
     double duration = 0.0;
   };
   std::vector<ResyncNote> resync_notes_;
-  int64_t cache_crashes_ = 0;
-  int64_t cache_restarts_ = 0;
-  int64_t relay_failures_ = 0;
-  int64_t link_down_events_ = 0;
-  int64_t slowdown_events_ = 0;
-  int64_t resync_deliveries_ = 0;
+
+  // --- scheduler-level metrics (obs/metrics.h) ---
+
+  /// Every counter the scheduler itself tallies (as opposed to per-agent /
+  /// per-link state, which stays on its entity for shard safety), plus the
+  /// time-to-resync digest. Registered once in the constructor; zeroed as a
+  /// whole by Initialize and OnMeasurementStart. The handles below are
+  /// owned by the registry and each has exactly one increment site.
+  MetricsRegistry metrics_;
+  Counter* relay_control_moved_ = nullptr;
+  Counter* cache_crashes_ = nullptr;
+  Counter* cache_restarts_ = nullptr;
+  Counter* relay_failures_ = nullptr;
+  Counter* link_down_events_ = nullptr;
+  Counter* slowdown_events_ = nullptr;
+  Counter* resync_deliveries_ = nullptr;
   /// Restart-to-fully-refilled durations of completed resync episodes.
-  QuantileDigest resync_digest_;
+  Histogram* resync_digest_ = nullptr;
+
+  // --- observability (config_.obs.enabled only; otherwise null) ---
+
+  /// Owns the trace buffers and the sampled time series. Created in
+  /// Initialize; drained once by TakeObsOutput.
+  std::unique_ptr<ObsCollector> obs_;
+  /// Row scratch for ObsSample, reused across samples.
+  std::vector<double> obs_row_;
+  /// Last PhaseTimer snapshot (opt-in sample_phase_nanos columns).
+  PhaseTimer::Snapshot obs_prev_phase_;
+
+  /// End-of-tick observability: registers the tick for phase slices and
+  /// appends a time-series row when one is due. Never touches engine state.
+  void ObsOnTickEnd(double t);
+  void ObsSample(double t);
 };
 
 /// Scheduler-agnostic summary of one simulation run.
@@ -363,6 +403,10 @@ struct RunResult {
   /// Number of (object, cache) replicas the objective sums over.
   int64_t total_replicas = 0;
   SchedulerStats scheduler;
+  /// Observability output (time series + merged trace); null unless the run
+  /// had ObsConfig::enabled. Never serialized into the run JSON/CSV — the
+  /// exporters in obs/export.h write it to separate files.
+  std::shared_ptr<ObsOutput> obs;
 };
 
 /// Runs `scheduler` over `workload` and returns the measured divergence.

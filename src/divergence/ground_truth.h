@@ -109,6 +109,15 @@ class GroundTruth {
     return entries_[ReplicaEntry(index, cache_id)].divergence;
   }
 
+  /// Instantaneous Σ W * D over cache `cache_id`'s replicas — the running
+  /// sum the time integrals integrate. Divergence is piecewise constant
+  /// between update/apply events, so this is exact at any time with no
+  /// AdvanceTo: reading it never perturbs the integration points (the
+  /// observability sampler depends on that).
+  double CurrentWeightedSum(int32_t cache_id) const {
+    return weighted_sum_[cache_id];
+  }
+
   /// Integrates the running sums up to `t`. Normally implicit in the
   /// event entry points, but exposed so the scheduler's parallel delivery
   /// apply can hoist the one cross-cache step of OnCacheApply: after

@@ -49,6 +49,7 @@ std::unique_ptr<Scheduler> MakeScheduler(const ExperimentConfig& config) {
       cooperative.run_threads = config.run_threads;
       cooperative.send_order_shards = config.send_order_shards;
       cooperative.phase_timer = config.phase_timer;
+      cooperative.obs = config.obs;
       return std::make_unique<CooperativeScheduler>(cooperative);
     }
     case SchedulerKind::kIdealCooperative: {
@@ -105,6 +106,13 @@ Result<RunResult> RunExperimentOnWorkload(const ExperimentConfig& config,
         "is modeled by the cooperative protocol only; scheduler ",
         SchedulerKindToString(config.scheduler),
         " would silently ignore it while its results were labeled with it");
+  }
+  if (config.obs.enabled && config.scheduler != SchedulerKind::kCooperative) {
+    return Status::InvalidArgument(
+        "observability (time series / tracing) is instrumented in the "
+        "cooperative engine only; scheduler ",
+        SchedulerKindToString(config.scheduler),
+        " would run silently with no output files");
   }
   if (!workload->faults.empty() &&
       config.scheduler != SchedulerKind::kCooperative) {

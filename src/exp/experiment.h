@@ -96,6 +96,11 @@ struct ExperimentConfig {
   /// Optional per-phase tick profiler (CooperativeConfig::phase_timer);
   /// not owned. Wall-clock numbers — perf output only.
   PhaseTimer* phase_timer = nullptr;
+  /// Observability (CooperativeConfig::obs): off by default; enabling it
+  /// never changes run results. A cooperative-engine feature — enabled on a
+  /// baseline scheduler it is an InvalidArgument rather than silently
+  /// producing no output.
+  ObsConfig obs;
 
   /// CGM-specific knobs (bandwidth fields are overwritten from above).
   CGMConfig cgm;

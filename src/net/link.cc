@@ -39,6 +39,21 @@ void Link::BeginTick(double tick_start, double tick_len) {
   queue_length_stat_.Add(static_cast<double>(queue_.size()));
   max_queue_size_ = std::max(max_queue_size_, queue_.size());
   in_tick_ = true;
+  trace_now_ = tick_start;
+}
+
+void Link::RecordDrop(const Message& message, bool blackholed) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kDrop;
+  event.t = trace_now_;
+  event.node = trace_node_;
+  event.source = message.source_index;
+  event.cache = message.cache_id;
+  event.object = message.object_index;
+  event.version = message.version;
+  event.is_pull = message.is_pull;
+  event.aux = blackholed ? 1 : 0;
+  trace_->Record(event);
 }
 
 void Link::FinishTick() {
@@ -51,6 +66,7 @@ void Link::FinishTick() {
 void Link::Enqueue(Message message) {
   if (down_) {
     ++messages_blackholed_;
+    if (trace_ != nullptr) RecordDrop(message, /*blackholed=*/true);
     return;
   }
   queue_.push_back(std::move(message));
@@ -66,6 +82,7 @@ bool Link::PopDeliverable(Message* out) {
     (message.is_pull ? pull_units_delivered_ : push_units_delivered_) += cost;
     if (loss_rate_ > 0.0 && loss_rng_.Bernoulli(loss_rate_)) {
       ++messages_dropped_;
+      if (trace_ != nullptr) RecordDrop(message, /*blackholed=*/false);
       continue;  // transmission spent, content lost
     }
     ++messages_delivered_;

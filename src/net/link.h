@@ -10,6 +10,7 @@
 
 #include "net/bandwidth.h"
 #include "net/message.h"
+#include "obs/trace.h"
 #include "util/random.h"
 #include "util/stats.h"
 
@@ -78,6 +79,17 @@ class Link {
   /// Configures random message loss on delivery (0 = lossless, default).
   void SetLossRate(double rate, uint64_t seed);
 
+  /// Observability wiring (obs/trace.h): records this link's message drops
+  /// (random loss and blackholing while down) into `trace`, attributed to
+  /// `node` (the downstream endpoint — a cache id for leaf edges, a relay
+  /// node id for tree edges). Null (the default) disables recording. Drop
+  /// timestamps are the current tick's start time (the finest clock the
+  /// link sees).
+  void SetTrace(TraceBuffer* trace, int32_t node) {
+    trace_ = trace;
+    trace_node_ = node;
+  }
+
   /// Partitions / heals the link (fault injection). While down the link
   /// blackholes: new Enqueue()s are dropped, every budget grant is refused,
   /// and the tick budget is 0 — queued messages freeze in place and deliver
@@ -131,6 +143,11 @@ class Link {
   /// exhausted.
   bool PopDeliverable(Message* out);
 
+  /// Records a kDrop event for `message` (callers test trace_ first).
+  /// `blackholed` distinguishes down-link blackholing (aux=1) from random
+  /// loss (aux=0).
+  void RecordDrop(const Message& message, bool blackholed);
+
   std::string name_;
   std::unique_ptr<BandwidthModel> bandwidth_;
   std::deque<Message> queue_;
@@ -152,6 +169,10 @@ class Link {
   bool down_ = false;
   double bandwidth_factor_ = 1.0;
   int64_t messages_blackholed_ = 0;
+  /// Drop tracing; null unless observability tracing is on.
+  TraceBuffer* trace_ = nullptr;
+  int32_t trace_node_ = -1;
+  double trace_now_ = 0.0;
 };
 
 }  // namespace besync

@@ -1,0 +1,44 @@
+#ifndef BESYNC_OBS_EXPORT_H_
+#define BESYNC_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace besync {
+
+/// One run's observability output with the label it is exported under
+/// (typically the runner job name). Entries with a null `obs` (obs was not
+/// enabled for that run) are skipped by the writers.
+struct ObsJob {
+  std::string name;
+  const ObsOutput* obs = nullptr;
+};
+
+/// Writes the `besync.timeseries.v1` document: one object per job with the
+/// column names (first column "t") and sample rows. Byte-stable: numbers
+/// use the shortest round-trip decimal, ordering is job order then row
+/// order — no wall-clock, locale, or thread-count dependence.
+void WriteTimeSeriesJson(std::ostream& os, const std::vector<ObsJob>& jobs);
+
+/// Writes the `besync.trace.v1` document, which is simultaneously a valid
+/// Chrome/Perfetto `trace_event` file (extra top-level keys are ignored by
+/// the viewers): per-job process/thread metadata, deterministic tick-phase
+/// duration slices on the "tick_phases" track (sim-time grid — the phase
+/// *order and cadence*, not wall durations), and every merged trace event
+/// as a thread-scoped instant with the structured payload in `args`.
+/// Timestamps are simulation seconds scaled to microseconds. Byte-stable
+/// under the same guarantees as the time-series writer.
+void WriteTraceJson(std::ostream& os, const std::vector<ObsJob>& jobs);
+
+/// File-writing conveniences for the benches.
+Status WriteTimeSeriesFile(const std::string& path,
+                           const std::vector<ObsJob>& jobs);
+Status WriteTraceFile(const std::string& path, const std::vector<ObsJob>& jobs);
+
+}  // namespace besync
+
+#endif  // BESYNC_OBS_EXPORT_H_

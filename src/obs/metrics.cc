@@ -1,0 +1,28 @@
+#include "obs/metrics.h"
+
+#include <utility>
+
+namespace besync {
+
+Counter* MetricsRegistry::AddCounter(std::string name) {
+  counters_.emplace_back(std::move(name), Counter());
+  return &counters_.back().second;
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string name) {
+  gauges_.emplace_back(std::move(name), Gauge());
+  return &gauges_.back().second;
+}
+
+Histogram* MetricsRegistry::AddHistogram(std::string name, int compression) {
+  histograms_.emplace_back(std::move(name), Histogram(compression));
+  return &histograms_.back().second;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& entry : counters_) entry.second.Reset();
+  for (auto& entry : gauges_) entry.second.Reset();
+  for (auto& entry : histograms_) entry.second.Reset();
+}
+
+}  // namespace besync

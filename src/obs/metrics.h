@@ -1,0 +1,98 @@
+#ifndef BESYNC_OBS_METRICS_H_
+#define BESYNC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "util/quantile.h"
+
+namespace besync {
+
+/// Handle types returned by MetricsRegistry. Handles are plain accumulators
+/// — a bump is one integer add, no locking, no indirection through the
+/// registry — and stay valid for the registry's lifetime (deque-backed
+/// storage, pointers never move). They are not thread-safe; the engine only
+/// bumps scheduler-level metrics from the main thread (per-agent counters
+/// stay on their agents for exactly that reason).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_ = 0; }
+  int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_ = 0.0; }
+  double value_ = 0.0;
+};
+
+/// A named QuantileDigest (util/quantile.h): deterministic streaming
+/// percentiles, reset with the registry.
+class Histogram {
+ public:
+  void Add(double value, int64_t weight = 1) { digest_.Add(value, weight); }
+  const QuantileDigest& digest() const { return digest_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(int compression) : digest_(compression) {}
+  void Reset() { digest_.Reset(); }
+  QuantileDigest digest_;
+};
+
+/// Insertion-ordered registry of named metrics. One registration site names
+/// each metric once; one increment site bumps it; `Reset()` zeroes every
+/// registered metric in one call — so "did the measurement-start reset miss
+/// a field" becomes a loop over the registry instead of a hand-maintained
+/// list (pinned by tests/stats_reset_test.cc).
+///
+/// Determinism: the registry holds no randomness and no wall-clock state;
+/// its contents are a pure function of the registration and bump sequence.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers a metric under `name` (names should be unique; duplicates
+  /// are allowed but make introspection ambiguous). The returned handle is
+  /// owned by the registry and valid for its lifetime.
+  Counter* AddCounter(std::string name);
+  Gauge* AddGauge(std::string name);
+  Histogram* AddHistogram(std::string name, int compression = 256);
+
+  /// Zeroes every counter and gauge and clears every histogram.
+  void Reset();
+
+  /// Introspection, in registration order.
+  const std::deque<std::pair<std::string, Counter>>& counters() const {
+    return counters_;
+  }
+  const std::deque<std::pair<std::string, Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::deque<std::pair<std::string, Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  // deque: stable element addresses under push_back (the handle contract).
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+};
+
+}  // namespace besync
+
+#endif  // BESYNC_OBS_METRICS_H_

@@ -1,0 +1,41 @@
+#include "obs/timeseries.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace besync {
+
+void TimeSeries::Configure(std::vector<std::string> columns,
+                           double sample_interval, int max_samples) {
+  BESYNC_CHECK(sample_interval > 0.0) << "sample_interval must be positive";
+  columns_ = std::move(columns);
+  base_interval_ = sample_interval;
+  effective_interval_ = sample_interval;
+  max_samples_ = max_samples;
+  next_time_ = 0.0;
+  rows_.clear();
+  dropped_ = 0;
+}
+
+void TimeSeries::Append(double t, const std::vector<double>& values) {
+  BESYNC_CHECK(values.size() == columns_.size())
+      << "time-series row width mismatch";
+  if (max_samples_ > 1 && static_cast<int>(rows_.size()) >= max_samples_) {
+    // Budget full: keep even indices before appending. Uniform decimation
+    // that preserves the first sample, the full span, and (because it runs
+    // before the push) the newest sample. Deterministic — depends only on
+    // the row count.
+    size_t kept = 0;
+    for (size_t i = 0; i < rows_.size(); i += 2) {
+      rows_[kept++] = std::move(rows_[i]);
+    }
+    dropped_ += static_cast<int64_t>(rows_.size() - kept);
+    rows_.resize(kept);
+    effective_interval_ *= 2.0;
+  }
+  rows_.push_back(Row{t, values});
+  next_time_ = t + effective_interval_;
+}
+
+}  // namespace besync

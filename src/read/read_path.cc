@@ -166,6 +166,16 @@ void ReadPath::SendPullRequests(double t, Network* network) {
       request.send_time = t;
       network->SendToSource(cache.cache_id, request.source_index, request);
       ++pull_requests_;
+      if (TraceBuffer* trace = trace_for(cache.cache_id)) {
+        TraceEvent event;
+        event.kind = TraceEventKind::kPullRequest;
+        event.t = t;
+        event.source = request.source_index;
+        event.cache = cache.cache_id;
+        event.object = index;
+        event.is_pull = true;
+        trace->Record(event);
+      }
     }
   }
 }
@@ -184,9 +194,21 @@ void ReadPath::ResolveDelivery(CacheState* cache, ObjectIndex index, double t,
   const int64_t slot = cache->store.SlotOf(index);
   if (slot < 0) return;
   if (is_pull) ++cache->scratch_pulls_delivered;
-  cache->store.Install(slot, t, [this, cache](ObjectIndex member) {
-    return ReplicaDivergence(*cache, member);
-  });
+  const int64_t evicted =
+      cache->store.Install(slot, t, [this, cache](ObjectIndex member) {
+        return ReplicaDivergence(*cache, member);
+      });
+  if (evicted >= 0) {
+    if (TraceBuffer* trace = trace_for(cache->cache_id)) {
+      TraceEvent event;
+      event.kind = TraceEventKind::kEvict;
+      event.t = t;
+      event.cache = cache->cache_id;
+      event.object = cache->store.member(evicted);
+      event.aux = index;  // the install that displaced it
+      trace->Record(event);
+    }
+  }
   // Any delivery re-validates the replica: a pull response closes an
   // invalid episode, and a TTL delivery renews the lease.
   if (validity_tracked_) {
@@ -222,6 +244,14 @@ void ReadPath::ApplyInvalidate(CacheState* cache, ObjectIndex index, double t) {
   if (slot < 0) return;
   protocol_->OnInvalidate(&cache->store.sync_state(slot), t);
   ++cache->scratch_invalidations;
+  if (TraceBuffer* trace = trace_for(cache->cache_id)) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kInvalidateApply;
+    event.t = t;
+    event.cache = cache->cache_id;
+    event.object = index;
+    trace->Record(event);
+  }
 }
 
 void ReadPath::OnCacheCrash(int cache_id, double now) {
@@ -290,6 +320,18 @@ void ReadPath::OnMeasurementStart() {
       pending.waiting_time_sum = 0.0;
     }
   }
+}
+
+double ReadPath::StalenessMeanSoFar() const {
+  double weighted = 0.0;
+  int64_t count = 0;
+  for (const CacheState& cache : caches_) {
+    if (cache.staleness.empty()) continue;
+    weighted +=
+        cache.staleness.mean() * static_cast<double>(cache.staleness.count());
+    count += cache.staleness.count();
+  }
+  return count > 0 ? weighted / static_cast<double>(count) : 0.0;
 }
 
 ReadPathCounters ReadPath::Counters() const {

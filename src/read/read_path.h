@@ -9,6 +9,7 @@
 #include "core/harness.h"
 #include "data/read_process.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "read/cache_store.h"
 #include "util/quantile.h"
 #include "util/random.h"
@@ -132,6 +133,24 @@ class ReadPath {
   // Introspection (tests).
   const CacheStore& store(int cache_id) const { return caches_[cache_id].store; }
 
+  /// Observability wiring (obs/trace.h): one buffer per cache id, or empty
+  /// to disable (the default — hooks then cost one emptiness test). The
+  /// read path records its own lifecycle events: pull requests,
+  /// invalidation applies, evictions. Buffers must outlive the run.
+  void SetTraceBuffers(std::vector<TraceBuffer*> buffers) {
+    trace_ = std::move(buffers);
+  }
+
+  // Cheap cumulative totals for the observability sampler (counted since
+  // the last measurement reset; 0 while disabled). O(1) reads — unlike
+  // Counters(), which merges the per-cache staleness digests.
+  int64_t reads_so_far() const { return reads_; }
+  int64_t hits_so_far() const { return hits_; }
+  int64_t pull_requests_so_far() const { return pull_requests_; }
+  int64_t pulls_delivered_so_far() const { return pulls_delivered_; }
+  /// Weighted mean over the per-cache staleness digests, O(num_caches).
+  double StalenessMeanSoFar() const;
+
  private:
   /// One replica's in-flight pull state.
   struct PendingPull {
@@ -172,6 +191,11 @@ class ReadPath {
     std::vector<double> scratch_latency_terms;
   };
 
+  /// Cache `cache_id`'s trace buffer, or null when tracing is off.
+  TraceBuffer* trace_for(int32_t cache_id) const {
+    return trace_.empty() ? nullptr : trace_[cache_id];
+  }
+
   void HandleRead(CacheState* cache, int64_t slot, double t);
   void ResolveDelivery(CacheState* cache, ObjectIndex index, double t, bool is_pull);
   void ApplyInvalidate(CacheState* cache, ObjectIndex index, double t);
@@ -193,6 +217,8 @@ class ReadPath {
   int64_t miss_latency_count_ = 0;
   int64_t invalidations_received_ = 0;
   int64_t crash_dropped_pulls_ = 0;
+  /// Per-cache trace buffers; empty unless observability tracing is on.
+  std::vector<TraceBuffer*> trace_;
 };
 
 }  // namespace besync

@@ -14,6 +14,23 @@ void PhaseTimer::Reset() {
   for (auto& phase : nanos_) phase.store(0, std::memory_order_relaxed);
 }
 
+PhaseTimer::Snapshot PhaseTimer::TakeSnapshot() const {
+  Snapshot snapshot;
+  for (int phase = 0; phase < kNumPhases; ++phase) {
+    snapshot.nanos[phase] = nanos_[phase].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+PhaseTimer::Snapshot PhaseTimer::Delta(const Snapshot& now,
+                                       const Snapshot& prev) {
+  Snapshot delta;
+  for (int phase = 0; phase < kNumPhases; ++phase) {
+    delta.nanos[phase] = now.nanos[phase] - prev.nanos[phase];
+  }
+  return delta;
+}
+
 const char* PhaseTimer::Name(Phase phase) {
   switch (phase) {
     case Phase::kBeginTick:

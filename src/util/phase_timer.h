@@ -51,6 +51,24 @@ class PhaseTimer {
 
   void Reset();
 
+  /// A consistent-enough copy of the accumulators, readable mid-run (each
+  /// phase is one relaxed load; phases that are mid-accumulation on another
+  /// thread simply show their last completed scope). Lets callers take
+  /// per-window breakdowns — e.g. per-measurement-interval phase costs —
+  /// instead of one aggregate at exit: snapshot at the window edges and
+  /// Delta() the two.
+  struct Snapshot {
+    int64_t nanos[kNumPhases] = {};
+    int64_t total() const {
+      int64_t sum = 0;
+      for (int64_t phase : nanos) sum += phase;
+      return sum;
+    }
+  };
+  Snapshot TakeSnapshot() const;
+  /// Per-phase `now - prev` (the cost of the window between two snapshots).
+  static Snapshot Delta(const Snapshot& now, const Snapshot& prev);
+
   /// Stable snake_case phase name ("begin_tick", "send", "relay",
   /// "deliver_apply", "read_path", "feedback") — the JSON key.
   static const char* Name(Phase phase);

@@ -12,7 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/system.h"
 #include "exp/experiment.h"
+#include "obs/metrics.h"
 
 namespace besync {
 namespace {
@@ -150,6 +152,78 @@ TEST(StatsResetFaultTest, ReusedCooperativeSchedulerZeroesFaultCounters) {
   EXPECT_EQ(reset.resync_pending, 0);
   EXPECT_EQ(reset.time_to_resync_mean, 0.0);
   EXPECT_EQ(reset.time_to_resync_p95, 0.0);
+}
+
+TEST(StatsRegistryTest, ResetZeroesEveryRegisteredMetric) {
+  // The cooperative scheduler's counters live in a MetricsRegistry
+  // (obs/metrics.h): one registration site, one increment site, and a
+  // single Reset() at measurement start. This is the registry-side version
+  // of the audits above — instead of naming fields one by one, iterate
+  // everything registered and demand zero, so a counter added later is
+  // covered the day it is registered. The registry currently backs the
+  // fault/relay counter family, so arm a relay tier and a fault schedule
+  // to actually bump it.
+  ExperimentConfig config = BaseConfig(SchedulerKind::kCooperative);
+  config.workload.num_caches = 2;
+  config.workload.interest_pattern = InterestPattern::kPartitionedBySource;
+  config.workload.relay_tiers = 1;
+  config.workload.fault.cache_crashes = 1;
+  config.workload.fault.window_start = 40.0;
+  config.workload.fault.window_end = 120.0;
+  const Workload workload = std::move(MakeWorkload(config.workload)).ValueOrDie();
+  const auto metric = MakeMetric(config.metric);
+  const auto scheduler = MakeScheduler(config);
+  Harness harness(&workload, metric.get(), config.harness);
+  ASSERT_TRUE(harness.Run(scheduler.get()).ok());
+
+  auto* cooperative = static_cast<CooperativeScheduler*>(scheduler.get());
+  const MetricsRegistry& registry = cooperative->metrics_registry();
+  ASSERT_FALSE(registry.counters().empty());
+  int64_t total = 0;
+  for (const auto& [name, counter] : registry.counters()) total += counter.value();
+  EXPECT_GT(total, 0) << "the run bumped no registered counter";
+
+  scheduler->OnMeasurementStart(harness.now());
+  for (const auto& [name, counter] : registry.counters()) {
+    EXPECT_EQ(counter.value(), 0) << "counter '" << name
+                                  << "' escaped the measurement-start reset";
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    EXPECT_EQ(gauge.value(), 0.0) << "gauge '" << name << "' escaped the reset";
+  }
+
+  // The struct view and the registry must agree after reset too.
+  const SchedulerStats reset = scheduler->stats();
+  EXPECT_EQ(reset.refreshes_sent, 0);
+  EXPECT_EQ(reset.refreshes_delivered, 0);
+}
+
+TEST(StatsRegistryTest, StandaloneRegistryBasics) {
+  MetricsRegistry registry;
+  Counter* sent = registry.AddCounter("sent");
+  Gauge* depth = registry.AddGauge("depth");
+  Histogram* wait = registry.AddHistogram("wait");
+  sent->Increment();
+  sent->Increment(3);
+  depth->Set(7.5);
+  wait->Add(1.0);
+  wait->Add(9.0);
+  EXPECT_EQ(sent->value(), 4);
+  EXPECT_EQ(depth->value(), 7.5);
+  EXPECT_EQ(wait->digest().count(), 2);
+
+  // Handles stay valid as the deque grows (the registration contract).
+  for (int i = 0; i < 100; ++i) {
+    registry.AddCounter("filler_" + std::to_string(i));
+  }
+  EXPECT_EQ(sent->value(), 4);
+
+  // Introspection sees registration order; Reset zeroes everything at once.
+  EXPECT_EQ(registry.counters().front().first, "sent");
+  registry.Reset();
+  EXPECT_EQ(sent->value(), 0);
+  EXPECT_EQ(depth->value(), 0.0);
+  EXPECT_EQ(wait->digest().count(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchedulers, StatsResetTest,

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Summarize a besync.trace.v1 file (--trace_out of the obs-wired benches).
+
+Reports, per job (Perfetto pid):
+
+  - event counts by kind,
+  - per-hop latency percentiles over message lifecycles, grouped by
+    (cache, object, version, pull):
+      queue_wait  enqueue -> send      (source-side queueing)
+      transit     send -> apply        (network + relay store/forward)
+      end_to_end  enqueue -> apply
+      relay_wait  the relay_forward events' recorded store wait (args.value)
+  - the fault/recovery timeline: fault events in time order and every
+    resync_start with its matching resync_done duration.
+
+With --timeseries pointing at the matching besync.timeseries.v1 file, also
+prints each column's peak (value, time) per job — queue/deficit peaks line
+up with the trace timeline.
+
+Stdlib only. Percentiles use the nearest-rank method, so output for a fixed
+input is byte-deterministic. `--selftest` runs the summarizer against an
+embedded miniature trace and exits nonzero on any regression (CI hook).
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+HOP_PAIRS = [
+    ("queue_wait", "enqueue", "send"),
+    ("transit", "send", "apply"),
+    ("end_to_end", "enqueue", "apply"),
+]
+
+# FaultEventKind enum order in src/fault/fault_schedule.h (args.aux of
+# "fault" events), using the schedule's canonical names.
+FAULT_KINDS = [
+    "cache-crash", "cache-restart", "relay-fail", "relay-recover",
+    "link-down", "link-up", "slow-down", "slow-recover",
+]
+
+
+def percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an ascending list (deterministic)."""
+    if not sorted_values:
+        return None
+    rank = max(1, -(-len(sorted_values) * fraction // 1))  # ceil
+    return sorted_values[min(int(rank), len(sorted_values)) - 1]
+
+
+def fault_kind_name(aux):
+    if 0 <= aux < len(FAULT_KINDS):
+        return FAULT_KINDS[aux]
+    return "kind_%d" % aux
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def job_names(document):
+    """pid -> job name from the document's jobs index."""
+    return {job["pid"]: job["name"] for job in document.get("jobs", [])}
+
+
+def lifecycle_stats(events):
+    """Per-hop latency lists over (cache, object, version, pull) groups.
+
+    A hop is measured from the group's first occurrence of the source kind
+    to its first occurrence of the destination kind at or after it; each
+    group contributes at most one sample per hop (re-sends of the same
+    version collapse onto the earliest lifecycle).
+    """
+    first = defaultdict(dict)  # key -> kind -> earliest t
+    for event in events:
+        args = event["args"]
+        if args["object"] < 0:
+            continue
+        key = (args["cache"], args["object"], args["version"], args["pull"])
+        kind = event["name"]
+        if kind not in first[key] or event_t(event) < first[key][kind]:
+            first[key][kind] = event_t(event)
+    hops = {name: [] for name, _, _ in HOP_PAIRS}
+    for kinds in first.values():
+        for name, src, dst in HOP_PAIRS:
+            if src in kinds and dst in kinds and kinds[dst] >= kinds[src]:
+                hops[name].append(kinds[dst] - kinds[src])
+    for values in hops.values():
+        values.sort()
+    return hops
+
+
+def event_t(event):
+    # args.t is the exact simulation time; ts is the same scaled to us.
+    return event["args"]["t"]
+
+
+def summarize_job(name, events, out):
+    counts = defaultdict(int)
+    for event in events:
+        counts[event["name"]] += 1
+    out.write("job: %s (%d events)\n" % (name, len(events)))
+    for kind in sorted(counts):
+        out.write("  %-16s %d\n" % (kind, counts[kind]))
+
+    hops = lifecycle_stats(events)
+    relay_waits = sorted(e["args"]["value"] for e in events
+                         if e["name"] == "relay_forward")
+    out.write("  hop latencies (sim seconds, nearest-rank):\n")
+    out.write("    %-12s %6s %10s %10s %10s %10s\n" %
+              ("hop", "n", "p50", "p95", "p99", "max"))
+    for hop_name in [name for name, _, _ in HOP_PAIRS] + ["relay_wait"]:
+        values = relay_waits if hop_name == "relay_wait" else hops[hop_name]
+        if not values:
+            out.write("    %-12s %6d %10s %10s %10s %10s\n" %
+                      (hop_name, 0, "-", "-", "-", "-"))
+            continue
+        out.write("    %-12s %6d %10.4f %10.4f %10.4f %10.4f\n" %
+                  (hop_name, len(values), percentile(values, 0.50),
+                   percentile(values, 0.95), percentile(values, 0.99),
+                   values[-1]))
+
+    faults = [e for e in events if e["name"] == "fault"]
+    starts = [e for e in events if e["name"] == "resync_start"]
+    dones = [e for e in events if e["name"] == "resync_done"]
+    if faults or starts or dones:
+        out.write("  fault/recovery timeline:\n")
+        for event in faults:
+            args = event["args"]
+            out.write("    t=%-10.4f fault %s node=%d factor=%s\n" %
+                      (event_t(event), fault_kind_name(args["aux"]),
+                       args["node"], args["value"]))
+        # Match each start with the first done on the same cache after it.
+        done_by_cache = defaultdict(list)
+        for event in dones:
+            done_by_cache[event["args"]["cache"]].append(event)
+        complete = 0
+        for start in starts:
+            cache = start["args"]["cache"]
+            match = next((d for d in done_by_cache[cache]
+                          if event_t(d) >= event_t(start)), None)
+            if match is None:
+                out.write("    t=%-10.4f resync cache=%d objects=%d UNFINISHED\n"
+                          % (event_t(start), cache, start["args"]["aux"]))
+            else:
+                done_by_cache[cache].remove(match)
+                complete += 1
+                out.write("    t=%-10.4f resync cache=%d objects=%d "
+                          "done_t=%.4f took=%.4f\n" %
+                          (event_t(start), cache, start["args"]["aux"],
+                           event_t(match), match["args"]["value"]))
+        out.write("    resyncs: %d started, %d completed\n"
+                  % (len(starts), complete))
+
+
+def summarize_trace(document, out, job_filter=None):
+    if document.get("schema") != "besync.trace.v1":
+        raise ValueError("not a besync.trace.v1 document")
+    names = job_names(document)
+    by_pid = defaultdict(list)
+    for event in document.get("traceEvents", []):
+        if event.get("ph") == "i":  # instants carry the lifecycle payload
+            by_pid[event["pid"]].append(event)
+    for pid in sorted(by_pid):
+        name = names.get(pid, "pid%d" % pid)
+        if job_filter is not None and job_filter not in name:
+            continue
+        summarize_job(name, by_pid[pid], out)
+
+
+def summarize_timeseries(document, out, job_filter=None):
+    if document.get("schema") != "besync.timeseries.v1":
+        raise ValueError("not a besync.timeseries.v1 document")
+    for job in document.get("jobs", []):
+        if job_filter is not None and job_filter not in job["name"]:
+            continue
+        columns = job["columns"]
+        samples = job["samples"]
+        out.write("timeseries: %s (%d samples, interval %s)\n" %
+                  (job["name"], len(samples), job["effective_interval"]))
+        if not samples:
+            continue
+        for c in range(1, len(columns)):
+            peak = max(samples, key=lambda row: row[c])
+            out.write("  %-28s peak %.6g at t=%.6g last %.6g\n" %
+                      (columns[c], peak[c], peak[0], samples[-1][c]))
+
+
+SELFTEST_TRACE = {
+    "schema": "besync.trace.v1",
+    "jobs": [{"pid": 0, "name": "selftest", "tick_length": 1.0,
+              "trace_dropped": 0, "events": 9}],
+    "traceEvents": [
+        {"name": "enqueue", "ph": "i", "pid": 0, "tid": 10000, "args":
+         {"t": 1.0, "object": 7, "cache": 0, "source": 0, "node": -1,
+          "version": 3, "aux": 0, "pull": False, "value": 0.0}},
+        {"name": "send", "ph": "i", "pid": 0, "tid": 10000, "args":
+         {"t": 3.0, "object": 7, "cache": 0, "source": 0, "node": -1,
+          "version": 3, "aux": 0, "pull": False, "value": 0.0}},
+        {"name": "relay_forward", "ph": "i", "pid": 0, "tid": 20001, "args":
+         {"t": 4.0, "object": 7, "cache": 0, "source": 0, "node": 1,
+          "version": 3, "aux": 0, "pull": False, "value": 1.0}},
+        {"name": "apply", "ph": "i", "pid": 0, "tid": 1, "args":
+         {"t": 6.0, "object": 7, "cache": 0, "source": 0, "node": -1,
+          "version": 3, "aux": 0, "pull": False, "value": 0.0}},
+        {"name": "fault", "ph": "i", "pid": 0, "tid": 9999, "args":
+         {"t": 10.0, "object": -1, "cache": 0, "source": -1, "node": 0,
+          "version": 0, "aux": 0, "pull": False, "value": 0.0}},
+        {"name": "resync_start", "ph": "i", "pid": 0, "tid": 9999, "args":
+         {"t": 12.0, "object": -1, "cache": 0, "source": -1, "node": 0,
+          "version": 0, "aux": 5, "pull": False, "value": 0.0}},
+        {"name": "resync_done", "ph": "i", "pid": 0, "tid": 1, "args":
+         {"t": 15.0, "object": -1, "cache": 0, "source": -1, "node": 0,
+          "version": 0, "aux": 0, "pull": False, "value": 3.0}},
+    ],
+}
+
+
+def selftest():
+    import io
+    out = io.StringIO()
+    summarize_trace(SELFTEST_TRACE, out)
+    text = out.getvalue()
+    checks = [
+        "job: selftest (7 events)",
+        # enqueue(1) -> send(3) -> apply(6): queue 2, transit 3, e2e 5.
+        "queue_wait        1     2.0000",
+        "transit           1     3.0000",
+        "end_to_end        1     5.0000",
+        "relay_wait        1     1.0000",
+        "fault cache-crash node=0",
+        "resync cache=0 objects=5 done_t=15.0000 took=3.0000",
+        "resyncs: 1 started, 1 completed",
+    ]
+    failed = [c for c in checks if c not in text]
+    if failed:
+        sys.stderr.write(text)
+        for check in failed:
+            sys.stderr.write("selftest: missing %r\n" % check)
+        return 1
+    sys.stdout.write("trace_summary selftest ok (%d checks)\n" % len(checks))
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", nargs="?", help="besync.trace.v1 file")
+    parser.add_argument("--timeseries", help="matching besync.timeseries.v1 file")
+    parser.add_argument("--job", help="only jobs whose name contains this")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the embedded regression check and exit")
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return selftest()
+    if args.trace is None and args.timeseries is None:
+        parser.error("need a trace file, --timeseries, or --selftest")
+    if args.trace is not None:
+        summarize_trace(load_json(args.trace), sys.stdout, args.job)
+    if args.timeseries is not None:
+        summarize_timeseries(load_json(args.timeseries), sys.stdout, args.job)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
